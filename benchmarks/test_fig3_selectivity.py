@@ -1,0 +1,14 @@
+"""Figure 3: selectivity distributions of in-workload vs random queries."""
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import selectivity_distribution
+
+
+def test_fig3_selectivity_distribution(benchmark, profile):
+    result = run_experiment(benchmark, "fig3", selectivity_distribution,
+                            profile)
+    assert len(result["rows"]) == 6
+    # Paper observation: selectivities are widely spaced (orders of
+    # magnitude between min and max) on every dataset.
+    for row in result["rows"]:
+        assert row["log10_max"] - row["log10_min"] > 0.5

@@ -1,0 +1,19 @@
+"""Figure 4(a) + the Section 5.3 temperature study."""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import sweep_dps_samples, sweep_temperature
+
+
+def test_fig4a_dps_sample_sweep(benchmark, profile):
+    result = run_experiment(benchmark, "fig4a", sweep_dps_samples, profile)
+    assert len(result["rows"]) == 4
+    for row in result["rows"]:
+        assert np.isfinite(row["mean"])
+
+
+def test_temperature_sweep(benchmark, profile):
+    result = run_experiment(benchmark, "tau", sweep_temperature, profile)
+    taus = [row["tau"] for row in result["rows"]]
+    assert taus == [0.5, 0.75, 1.0, 1.25]

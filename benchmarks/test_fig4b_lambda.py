@@ -1,0 +1,14 @@
+"""Figure 4(b): the trade-off parameter lambda."""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import sweep_lambda
+
+
+def test_fig4b_lambda_sweep(benchmark, profile):
+    result = run_experiment(benchmark, "fig4b", sweep_lambda, profile)
+    lambdas = [row["lambda"] for row in result["rows"]]
+    assert lambdas == sorted(lambdas)
+    for row in result["rows"]:
+        assert np.isfinite(row["in_mean"]) and np.isfinite(row["rand_mean"])

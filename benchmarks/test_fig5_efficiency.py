@@ -1,0 +1,25 @@
+"""Figure 5: (1) training epochs vs error; (2) estimation latency."""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import estimation_latency, training_curve
+
+
+def test_fig5_training_curve(benchmark, profile):
+    result = run_experiment(benchmark, "fig5_curve", training_curve, profile)
+    epochs = [row["epoch"] for row in result["rows"]]
+    assert epochs == list(range(1, len(epochs) + 1))
+    # Errors should broadly improve from the first epoch to the best epoch.
+    maxes = [row["max"] for row in result["rows"]]
+    assert min(maxes) <= maxes[0]
+
+
+def test_fig5_estimation_latency(benchmark, profile):
+    result = run_experiment(benchmark, "fig5_latency", estimation_latency,
+                            profile)
+    by_model = {r["model"]: r["ms_per_query"] for r in result["rows"]}
+    assert all(v > 0 for v in by_model.values())
+    # Paper shape: the model-based estimators answer in bounded time; the
+    # fastest query-driven nets beat sampling-based scans.
+    assert by_model["LR"] < by_model["Sampling"] * 50

@@ -1,0 +1,18 @@
+"""Figure 6: impact of injected cardinalities on query optimization."""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import optimizer_impact
+
+
+def test_fig6_optimizer_impact(benchmark, profile):
+    result = run_experiment(benchmark, "fig6", optimizer_impact, profile)
+    names = [row["estimator"] for row in result["rows"]]
+    assert names[0] == "TrueCard"
+    assert {"NeuroCard", "UAE"} <= set(names)
+    true_row = result["rows"][0]
+    # Planning with true cardinalities can never lose to the heuristic.
+    assert true_row["median"] >= 1.0 - 1e-9
+    for row in result["rows"]:
+        assert np.isfinite(row["mean"])

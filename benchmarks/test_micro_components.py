@@ -1,0 +1,93 @@
+"""Micro-benchmarks for the hot components (pytest-benchmark proper).
+
+These time the individual kernels the experiments are built from —
+useful for spotting regressions in the autodiff engine, the samplers, and
+the join machinery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import UAE, DifferentiableProgressiveSampler, ProgressiveSampler
+from repro.data import make_toy
+from repro.data.schema import make_imdb
+from repro.joins import StarJoinSampler
+from repro.nn import Adam, ResMADE, Tensor, cross_entropy
+from repro.workload import generate_inworkload
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(0)
+    return ResMADE([100, 50, 20, 10, 5], hidden=64, num_blocks=2, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def batch(model):
+    rng = np.random.default_rng(1)
+    codes = np.stack([rng.integers(0, d, 512) for d in model.domain_sizes],
+                     axis=1)
+    return codes
+
+
+def test_forward_np(benchmark, model, batch):
+    x = model.encode_tuples(batch)
+    benchmark(model.forward_np, x)
+
+
+def test_forward_backward_tensor(benchmark, model, batch):
+    def step():
+        logits = model.forward_codes(batch)
+        loss = cross_entropy(model.logits_for(logits, 2), batch[:, 2])
+        model.zero_grad()
+        loss.backward()
+    benchmark(step)
+
+
+def test_training_step(benchmark, batch):
+    rng = np.random.default_rng(2)
+    model = ResMADE([100, 50, 20, 10, 5], hidden=64, num_blocks=2, rng=rng)
+    opt = Adam(model.parameters(), lr=1e-3)
+
+    def step():
+        logits = model.forward_codes(batch)
+        loss = None
+        for c in range(model.num_cols):
+            term = cross_entropy(model.logits_for(logits, c), batch[:, c])
+            loss = term if loss is None else loss + term
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    benchmark(step)
+
+
+def test_progressive_sampling(benchmark, model):
+    masks = [("fixed", np.arange(d) < d // 2) for d in model.domain_sizes]
+    sampler = ProgressiveSampler(model, num_samples=128, seed=0)
+    benchmark(sampler.estimate, masks)
+
+
+def test_dps_forward_backward(benchmark, model):
+    masks = [("fixed", np.arange(d) < d // 2) for d in model.domain_sizes]
+    dps = DifferentiableProgressiveSampler(model, num_samples=8, seed=0)
+
+    def step():
+        est = dps.estimate_batch([masks])
+        model.zero_grad()
+        est.sum().backward()
+    benchmark(step)
+
+
+def test_join_sampler_throughput(benchmark):
+    schema = make_imdb(n_titles=1000, seed=0)
+    sampler = StarJoinSampler(schema, seed=0)
+    benchmark(sampler.sample, 5000)
+
+
+def test_uae_estimate_latency(benchmark):
+    table = make_toy(rows=2000, num_cols=5, max_domain=20)
+    uae = UAE(table, hidden=32, num_blocks=1, est_samples=128, seed=0)
+    uae.fit(epochs=1, mode="data")
+    rng = np.random.default_rng(3)
+    wl = generate_inworkload(table, 5, rng)
+    benchmark(uae.estimate, wl.queries[0])

@@ -1,0 +1,20 @@
+"""Table 2: estimation errors on DMV (11 estimators, both query kinds)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import run_single_table
+
+
+def test_table2_dmv(benchmark, profile):
+    result = run_experiment(
+        benchmark, "table2",
+        lambda p: run_single_table("dmv", p), profile)
+    rows = {r["model"]: r for r in result["rows"]}
+    assert "UAE" in rows and "Naru" in rows
+    for row in result["rows"]:
+        for col in ("in_mean", "in_max", "rand_mean", "rand_max"):
+            assert np.isfinite(row[col]) and row[col] >= 1.0
+    # Paper shape: the hybrid should not lose badly to its data-only module
+    # on in-workload queries.
+    assert rows["UAE"]["in_mean"] <= rows["Naru"]["in_mean"] * 3.0

@@ -1,0 +1,18 @@
+"""Table 3: estimation errors on Census."""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import run_single_table
+
+
+def test_table3_census(benchmark, profile):
+    result = run_experiment(
+        benchmark, "table3",
+        lambda p: run_single_table("census", p), profile)
+    rows = {r["model"]: r for r in result["rows"]}
+    # Paper finding 1: supervised-only methods are vulnerable to workload
+    # shift — LR's random-query error dwarfs its in-workload error.
+    assert rows["LR"]["rand_mean"] > rows["LR"]["in_mean"]
+    for row in result["rows"]:
+        assert np.isfinite(row["rand_max"])

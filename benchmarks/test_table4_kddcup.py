@@ -1,0 +1,15 @@
+"""Table 4: estimation errors on Kddcup98 (100 columns)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import run_single_table
+
+
+def test_table4_kddcup(benchmark, profile):
+    result = run_experiment(
+        benchmark, "table4",
+        lambda p: run_single_table("kddcup", p), profile)
+    assert len(result["rows"]) >= 10
+    for row in result["rows"]:
+        assert np.isfinite(row["in_mean"])

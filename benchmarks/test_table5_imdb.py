@@ -1,0 +1,15 @@
+"""Table 5: join estimation errors on the IMDB-like star schema."""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import run_joins
+
+
+def test_table5_imdb_joins(benchmark, profile):
+    result = run_experiment(benchmark, "table5", run_joins, profile)
+    models = {r["model"] for r in result["rows"]}
+    assert {"DeepDB", "MSCN+sampling", "NeuroCard", "UAE"} <= models
+    for row in result["rows"]:
+        assert np.isfinite(row["focused_median"])
+        assert np.isfinite(row["light_median"])

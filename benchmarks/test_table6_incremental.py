@@ -1,0 +1,15 @@
+"""Table 6: incremental query workload — stale Naru vs refined UAE."""
+
+import numpy as np
+
+from benchmarks.conftest import run_experiment
+from repro.bench.experiments import run_incremental
+
+
+def test_table6_incremental(benchmark, profile):
+    result = run_experiment(benchmark, "table6", run_incremental, profile)
+    assert len(result["naru"]) == len(result["uae"])
+    assert all(np.isfinite(result["uae"]))
+    # Paper shape: the refined UAE stays accurate on the partition it just
+    # ingested (mean q-error stays bounded).
+    assert max(result["uae"]) < 1000

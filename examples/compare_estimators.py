@@ -1,0 +1,70 @@
+"""Head-to-head estimator comparison on the DMV-like table (Table 2 style).
+
+Runs the full baseline zoo — query-driven, data-driven, hybrid — under a
+shared memory budget and prints the paper's error quantiles for both
+in-workload and random (out-of-workload) test queries.
+
+Run:  python examples/compare_estimators.py
+"""
+
+import numpy as np
+
+from repro import UAE, load
+from repro.estimators import (BayesNetEstimator, FeedbackKDEEstimator,
+                              KDEEstimator, LinearRegressionEstimator,
+                              MSCNBase, MSCNSampling, Naru, SamplingEstimator,
+                              SPNEstimator)
+from repro.workload import generate_inworkload, generate_random, summarize
+
+
+def main() -> None:
+    table = load("dmv", rows=10_000)
+    rng = np.random.default_rng(1)
+    train = generate_inworkload(table, 300, rng)
+    test_in = generate_inworkload(table, 80, rng)
+    test_rand = generate_random(table, 80, rng)
+
+    nn_kwargs = dict(hidden=64, num_blocks=2, est_samples=128,
+                     dps_samples=8, seed=0)
+    uae = UAE(table, **nn_kwargs)
+    uae.fit(epochs=5, workload=train, mode="hybrid")
+
+    naru = Naru(table, **nn_kwargs)
+    naru.fit(epochs=5)
+
+    # Sample sizes follow the paper's budget-derived ratio for DMV (0.2%);
+    # matching raw bytes at this reduced row count would hand the
+    # sampling-based estimators the entire table.
+    fraction = 0.002
+    sample_rows = max(24, int(fraction * table.num_rows))
+    estimators = [
+        LinearRegressionEstimator(table).fit(train),
+        MSCNBase(table, epochs=40).fit(train),
+        SamplingEstimator(table, fraction=fraction),
+        BayesNetEstimator(table),
+        KDEEstimator(table, sample_size=sample_rows),
+        SPNEstimator(table),
+        naru,
+        MSCNSampling(table, epochs=40,
+                     sample_budget_bytes=4 * table.num_cols
+                     * sample_rows).fit(train),
+        FeedbackKDEEstimator(table, sample_size=sample_rows).fit(train),
+        uae,
+    ]
+
+    print(f"{'model':>14} | {'size':>7} | "
+          f"{'in: mean/median/max':>24} | {'rand: mean/median/max':>24}")
+    print("-" * 82)
+    for est in estimators:
+        ein = summarize(est.estimate_many(test_in.queries),
+                        test_in.cardinalities)
+        era = summarize(est.estimate_many(test_rand.queries),
+                        test_rand.cardinalities)
+        size_kb = est.size_bytes() / 1024
+        print(f"{est.name:>14} | {size_kb:>5.0f}KB | "
+              f"{ein.mean:>7.2f} {ein.median:>7.2f} {ein.maximum:>8.1f} | "
+              f"{era.mean:>7.2f} {era.median:>7.2f} {era.maximum:>8.1f}")
+
+
+if __name__ == "__main__":
+    main()

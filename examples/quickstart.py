@@ -1,0 +1,52 @@
+"""Quickstart: train UAE on a table + workload, then estimate cardinalities.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import UAE, Predicate, Query, load
+from repro.workload import generate_inworkload, summarize
+
+
+def main() -> None:
+    # 1. A table.  ``load`` ships synthetic stand-ins for the paper's
+    #    datasets; swap in your own via Table.from_raw(...).
+    table = load("census", rows=8000)
+    print(f"table: {table}")
+
+    # 2. A labeled query workload (here: generated the way the paper does;
+    #    in production this is your query log with observed cardinalities).
+    rng = np.random.default_rng(0)
+    workload = generate_inworkload(table, 300, rng)
+    print(f"workload: {len(workload)} labeled queries")
+
+    # 3. One model, both information sources (Algorithm 3).
+    model = UAE(table, hidden=64, num_blocks=2, est_samples=128,
+                dps_samples=8, lam=1e-4, seed=0)
+    model.fit(epochs=5, workload=workload, mode="hybrid")
+
+    # 4. Estimate any conjunctive query.
+    age = table.column("age")
+    query = Query((
+        Predicate("age", ">=", int(age.values[10])),
+        Predicate("age", "<=", int(age.values[40])),
+        Predicate("sex", "=", 1),
+    ))
+    from repro.workload import true_cardinality
+    est = model.estimate(query)
+    truth = true_cardinality(table, query)
+    print(f"\nquery: {query}")
+    print(f"estimate = {est:.0f}   truth = {truth}   "
+          f"q-error = {max(est, 1) / max(truth, 1):.2f}")
+
+    # 5. Batch evaluation with the paper's metric.
+    test = generate_inworkload(table, 100, rng)
+    errors = summarize(model.estimate_many(test.queries),
+                       test.cardinalities)
+    print(f"\nheld-out in-workload q-errors: {errors}")
+    print(f"model size: {model.size_bytes() / 1024:.0f} KB")
+
+
+if __name__ == "__main__":
+    main()

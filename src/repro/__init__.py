@@ -1,0 +1,23 @@
+"""repro — reproduction of "A Unified Deep Model of Learning from both Data
+and Queries for Cardinality Estimation" (UAE, SIGMOD 2021).
+
+Public API tour:
+
+* :mod:`repro.data` — tables, synthetic datasets, factorization.
+* :mod:`repro.workload` — predicates, generators, ground truth, q-error.
+* :mod:`repro.core` — the UAE estimator (UAE-D / UAE-Q / hybrid), DPS and
+  Gumbel-Softmax.
+* :mod:`repro.estimators` — the nine baselines of the paper's evaluation.
+* :mod:`repro.joins` — join sampling and the multi-table estimator.
+* :mod:`repro.optimizer` — the query-optimizer impact study.
+* :mod:`repro.bench` — harnesses regenerating every table and figure.
+"""
+
+from .core import UAE, UAEConfig
+from .data import Table, load
+from .workload import LabeledWorkload, Predicate, Query
+
+__version__ = "1.0.0"
+
+__all__ = ["UAE", "UAEConfig", "Table", "load", "Query", "Predicate",
+           "LabeledWorkload", "__version__"]

@@ -1,0 +1,58 @@
+"""The Gumbel-Softmax trick (paper Algorithm 1, "GS-Sampling").
+
+Given a categorical distribution ``pi`` (here: the model's predicted
+conditional ``P_theta(Z_i | .)`` restricted to a query region), draws a
+*differentiable* approximately-one-hot sample
+
+    y = softmax((log pi + g) / tau),     g ~ Gumbel(0, 1)   (Eq. 10)
+
+The Gumbel noise ``g`` enters the graph as a constant, so gradients flow
+from the sample back into ``pi`` — this is precisely what lets the deep
+autoregressive model learn from queries (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.functional import log_softmax, sample_gumbel, softmax
+from ..nn.tensor import Tensor, add_constant
+
+
+def gs_sample(log_probs: Tensor, tau: float,
+              rng: np.random.Generator) -> Tensor:
+    """Differentiable one-hot sample from (log-) categorical ``log_probs``.
+
+    Parameters
+    ----------
+    log_probs:
+        ``[batch, k]`` log-probabilities (may contain large negative values
+        for masked-out categories — Algorithm 2, line 7).
+    tau:
+        Temperature; ``tau -> 0`` approaches exact one-hot, larger values
+        trade sample fidelity for lower gradient variance.
+    """
+    if tau <= 0:
+        raise ValueError("temperature must be positive")
+    noise = sample_gumbel(log_probs.shape, rng)
+    scores = add_constant(log_probs, noise) * (1.0 / tau)
+    return softmax(scores, axis=-1)
+
+
+def gs_sample_from_logits(logits: Tensor, tau: float,
+                          rng: np.random.Generator) -> Tensor:
+    """Same as :func:`gs_sample` but normalises raw logits first."""
+    return gs_sample(log_softmax(logits, axis=-1), tau, rng)
+
+
+def hard_sample_np(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Non-differentiable categorical sample via inverse CDF (vectorised).
+
+    ``probs``: ``[batch, k]`` rows summing to ~1; returns int codes.
+    Used on the inference path where gradients are not needed.
+    """
+    cdf = np.cumsum(probs, axis=1)
+    cdf /= cdf[:, -1:]
+    u = rng.random((len(probs), 1))
+    idx = (u > cdf).sum(axis=1)
+    return np.minimum(idx, probs.shape[1] - 1).astype(np.int64)

@@ -1,0 +1,225 @@
+"""Progressive sampling for range-query inference (paper Section 4.2).
+
+Monte-Carlo integration over the query region: sample each attribute in
+autoregressive order from the model's conditional distribution *truncated to
+the query region*, accumulating the probability mass the region retains at
+every step.  The average of the per-sample products is an unbiased estimate
+of the query selectivity.
+
+This is the pure-numpy inference path (no gradients), with:
+
+* **wildcard skipping** — unqueried columns keep their wildcard encoding
+  and are skipped entirely (Section 4.6, Liang et al. 2020);
+* **factorized columns** — low-digit masks are resolved per-sample from the
+  sampled high digit (``("lo", grid)`` constraints, see
+  :mod:`repro.data.encoding`);
+* **query batching** — many queries are stacked into one matrix so the
+  network forward passes amortise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.made import ResMADE
+from .gumbel import hard_sample_np
+
+
+def _softmax_np(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class ProgressiveSampler:
+    """Estimates selectivities for constraint lists over *model columns*.
+
+    A constraint list is what :meth:`ColumnFactorization.expand_masks`
+    produces: per model column either ``None``, ``("fixed", mask)`` or
+    ``("lo", grid)``.
+    """
+
+    def __init__(self, model: ResMADE, num_samples: int = 200,
+                 seed: int = 0):
+        self.model = model
+        self.num_samples = num_samples
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def estimate(self, constraints: list) -> float:
+        return float(self.estimate_batch([constraints])[0])
+
+    def estimate_with_error(self, constraints: list) -> tuple[float, float]:
+        """Estimate plus its Monte-Carlo standard error.
+
+        Progressive sampling averages independent per-sample densities, so
+        the standard error of the mean quantifies the estimate's
+        uncertainty — useful for choosing the sample count and for
+        risk-aware optimizers.
+        """
+        sels, errs = self.estimate_batch([constraints], with_error=True)
+        return float(sels[0]), float(errs[0])
+
+    def estimate_batch(self, constraint_lists: list[list],
+                       with_error: bool = False):
+        """Selectivity estimates for a batch of queries."""
+        model = self.model
+        n_queries = len(constraint_lists)
+        s = self.num_samples
+        batch = n_queries * s
+
+        # Which columns are queried by at least one query in the batch;
+        # iteration follows the model's autoregressive order.
+        queried = [any(cl[c] is not None for cl in constraint_lists)
+                   for c in range(model.num_cols)]
+        last_pos = max((model.position[c] for c in range(model.num_cols)
+                        if queried[c]), default=-1)
+
+        # Start fully wildcarded.
+        zero_codes = np.zeros((batch, model.num_cols), dtype=np.int64)
+        all_wild = np.ones((batch, model.num_cols), dtype=bool)
+        x = model.encode_tuples(zero_codes, wildcard=all_wild)
+
+        density = np.ones(batch, dtype=np.float64)
+        sampled: dict[int, np.ndarray] = {}
+
+        for pos in range(last_pos + 1):
+            col = model.order[pos]
+            if not queried[col]:
+                continue
+            valid, gain = self._valid_matrix(constraint_lists, col, s, sampled)
+            h = model.hidden_np(x)
+            logits = model.column_logits_np(h, col)
+            probs = _softmax_np(logits)
+            weight = valid if gain is None else valid * gain
+            in_region = (probs * weight).sum(axis=1)
+            density *= in_region
+            if pos == last_pos:
+                break  # no need to sample the final queried column
+            # Truncate + renormalise; the proposal is reweighted by the
+            # gain so downstream contributions stay unbiased.  Rows with
+            # zero mass sample uniformly over the valid set (their density
+            # is already 0).
+            truncated = probs * weight
+            mass = truncated.sum(axis=1, keepdims=True)
+            dead = mass[:, 0] <= 0
+            if dead.any():
+                fallback = valid[dead].astype(np.float64)
+                empty = fallback.sum(axis=1) == 0
+                fallback[empty] = 1.0  # empty region: sample anywhere
+                fallback /= fallback.sum(axis=1, keepdims=True)
+                truncated[dead] = fallback
+                mass = truncated.sum(axis=1, keepdims=True)
+            truncated = truncated / np.maximum(mass, 1e-30)
+            codes = hard_sample_np(truncated, self.rng)
+            sampled[col] = codes
+            enc = model.encoders[col].encode_hard(codes)
+            x[:, model.input_slices[col]] = enc
+        per_sample = density.reshape(n_queries, s)
+        result = np.clip(per_sample.mean(axis=1), 0.0, 1.0)
+        if with_error:
+            std_err = per_sample.std(axis=1, ddof=1) / np.sqrt(s) \
+                if s > 1 else np.zeros(n_queries)
+            return result, std_err
+        return result
+
+    # ------------------------------------------------------------------
+    def _valid_matrix(self, constraint_lists: list[list], col: int, s: int,
+                      sampled: dict[int, np.ndarray]
+                      ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Validity (and optional gain) matrices for model column ``col``.
+
+        Fixed masks broadcast per query; ``("lo", grid)`` masks are looked
+        up per-sample using the high digit sampled at ``col - 1``;
+        ``("scaled", mask, g)`` contributes the per-value gain ``g`` (the
+        join estimator's ``1/fanout`` factors).
+        """
+        domain = self.model.domain_sizes[col]
+        rows = []
+        gains: list[np.ndarray] | None = None
+        for qi, cl in enumerate(constraint_lists):
+            cons = cl[col]
+            if cons is None:
+                rows.append(np.ones((s, domain), dtype=bool))
+            elif cons[0] == "fixed":
+                rows.append(np.broadcast_to(cons[1], (s, domain)))
+            elif cons[0] == "scaled":
+                rows.append(np.broadcast_to(cons[1], (s, domain)))
+                if gains is None:
+                    gains = [np.ones((s, domain))] * qi
+                gains.append(np.broadcast_to(cons[2], (s, domain)))
+            elif cons[0] == "lo":
+                hi_codes = sampled.get(col - 1)
+                if hi_codes is None:
+                    # High digit was the final sampled column for another
+                    # query; fall back to the union over high digits.
+                    union = cons[1].any(axis=0)
+                    rows.append(np.broadcast_to(union, (s, domain)))
+                else:
+                    grid = cons[1]
+                    rows.append(grid[hi_codes[qi * s:(qi + 1) * s]])
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown constraint kind {cons[0]!r}")
+            if gains is not None and len(gains) < qi + 1:
+                gains.append(np.ones((s, domain)))
+        valid = np.concatenate(rows, axis=0)
+        gain = None if gains is None else np.concatenate(gains, axis=0)
+        return valid, gain
+
+
+class UniformSampler:
+    """Uniform-sampling baseline for range queries (paper Eq. 4).
+
+    Samples tuples uniformly from the query region and averages the model
+    density times the region volume — higher variance than progressive
+    sampling on skewed data, kept for the ablation benchmark.
+    """
+
+    def __init__(self, model: ResMADE, num_samples: int = 200, seed: int = 0):
+        self.model = model
+        self.num_samples = num_samples
+        self.rng = np.random.default_rng(seed)
+
+    def estimate(self, constraints: list) -> float:
+        model = self.model
+        s = self.num_samples
+        volume = 1.0
+        columns = []
+        for col in range(model.num_cols):
+            cons = constraints[col]
+            if cons is None:
+                columns.append(None)
+                continue
+            if cons[0] == "scaled":
+                raise NotImplementedError(
+                    "UniformSampler does not support fanout-scaled columns; "
+                    "use ProgressiveSampler for join estimation")
+            if cons[0] == "lo":
+                mask = cons[1].any(axis=0)
+            else:
+                mask = cons[1]
+            valid_codes = np.flatnonzero(mask)
+            if len(valid_codes) == 0:
+                return 0.0
+            volume *= len(valid_codes)
+            columns.append(valid_codes)
+        codes = np.zeros((s, model.num_cols), dtype=np.int64)
+        wildcard = np.zeros((s, model.num_cols), dtype=bool)
+        for col, valid_codes in enumerate(columns):
+            if valid_codes is None:
+                wildcard[:, col] = True
+            else:
+                codes[:, col] = self.rng.choice(valid_codes, size=s)
+        # Model density of each sampled point, with wildcards marginalised
+        # by the wildcard-trained network.
+        x = model.encode_tuples(codes, wildcard=wildcard)
+        logits = model.forward_np(x)
+        logp = np.zeros(s, dtype=np.float64)
+        for col, valid_codes in enumerate(columns):
+            if valid_codes is None:
+                continue
+            lg = model.logits_for_np(logits, col)
+            lg = lg - lg.max(axis=1, keepdims=True)
+            lp = lg - np.log(np.exp(lg).sum(axis=1, keepdims=True))
+            logp += lp[np.arange(s), codes[:, col]]
+        return float(np.clip(np.exp(logp).mean() * volume, 0.0, 1.0))

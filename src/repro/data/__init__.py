@@ -1,0 +1,16 @@
+"""Data substrate: columns, tables, statistics, generators, factorization."""
+
+from .column import Column
+from .table import Table
+from .encoding import ColumnFactorization, FactorSpec
+from .datasets import (DATASETS, load, make_census, make_dmv, make_kddcup,
+                       make_toy)
+from .stats import dataset_skewness, fisher_pearson_skewness, ncie
+from .io import read_csv, write_csv
+
+__all__ = [
+    "Column", "Table", "ColumnFactorization", "FactorSpec",
+    "DATASETS", "load", "make_dmv", "make_census", "make_kddcup", "make_toy",
+    "fisher_pearson_skewness", "dataset_skewness", "ncie",
+    "read_csv", "write_csv",
+]

@@ -1,0 +1,90 @@
+"""Dictionary-encoded columns.
+
+A :class:`Column` owns the sorted distinct values of an attribute and the
+bijection between raw values and integer *codes* ``0 .. |A_i|-1`` in natural
+(sorted) order — the paper's tuple encoding (Section 4.2).  Because codes
+preserve order, range predicates on raw values become code intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Column:
+    """One attribute: its name, sorted distinct values, and code mapping."""
+
+    def __init__(self, name: str, values: np.ndarray):
+        values = np.asarray(values)
+        distinct = np.unique(values)  # sorted ascending
+        if len(distinct) == 0:
+            raise ValueError(f"column {name!r} has no values")
+        self.name = name
+        self.values = distinct
+
+    @property
+    def size(self) -> int:
+        """Number of distinct values (the domain size |A_i|)."""
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, |A|={self.size})"
+
+    # ------------------------------------------------------------------
+    # Raw value <-> code
+    # ------------------------------------------------------------------
+    def codes_of(self, raw: np.ndarray) -> np.ndarray:
+        """Encode raw values into codes; raises on unseen values."""
+        raw = np.asarray(raw)
+        codes = np.searchsorted(self.values, raw)
+        codes = np.clip(codes, 0, self.size - 1)
+        if not np.all(self.values[codes] == raw):
+            bad = raw[self.values[codes] != raw]
+            raise KeyError(f"value(s) not in domain of {self.name!r}: {bad[:5]}")
+        return codes.astype(np.int32)
+
+    def code_of(self, value) -> int:
+        return int(self.codes_of(np.asarray([value]))[0])
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        return self.values[np.asarray(codes)]
+
+    # ------------------------------------------------------------------
+    # Predicate support: which codes satisfy ``<op> value``?
+    # ------------------------------------------------------------------
+    def code_range(self, op: str, value) -> tuple[int, int]:
+        """Half-open code interval ``[lo, hi)`` satisfying ``col <op> value``.
+
+        Only for the ordered operators; equality uses exact lookup and
+        ``!=`` / ``IN`` need bitmaps (see :meth:`valid_mask`).
+        """
+        left = int(np.searchsorted(self.values, value, side="left"))
+        right = int(np.searchsorted(self.values, value, side="right"))
+        if op == "<":
+            return 0, left
+        if op == "<=":
+            return 0, right
+        if op == ">":
+            return right, self.size
+        if op == ">=":
+            return left, self.size
+        if op == "=":
+            return left, right
+        raise ValueError(f"code_range does not support operator {op!r}")
+
+    def valid_mask(self, op: str, value) -> np.ndarray:
+        """Boolean mask over codes satisfying the predicate."""
+        mask = np.zeros(self.size, dtype=bool)
+        if op == "IN":
+            for v in value:
+                lo, hi = self.code_range("=", v)
+                mask[lo:hi] = True
+            return mask
+        if op == "!=":
+            lo, hi = self.code_range("=", value)
+            mask[:] = True
+            mask[lo:hi] = False
+            return mask
+        lo, hi = self.code_range(op, value)
+        mask[lo:hi] = True
+        return mask

@@ -1,0 +1,132 @@
+"""Column factorization for large-NDV columns (paper Section 4.6).
+
+A column whose domain exceeds ``threshold`` is split into two *model
+columns* — a high digit and a low digit in base ``2**bits`` — so the
+autoregressive output layer never has to emit a huge softmax.  Queries over
+a factorized column become *conditional* constraints: the valid low digits
+depend on the sampled high digit, which the progressive samplers resolve
+per-sample (the NeuroCard treatment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .table import Table
+
+
+@dataclass(frozen=True)
+class FactorSpec:
+    """How one original column maps onto model columns."""
+
+    original_index: int
+    name: str
+    domain_size: int
+    factored: bool
+    base: int                # size of the low-digit domain (1 if unfactored)
+    hi_size: int             # size of the high-digit domain
+
+
+class ColumnFactorization:
+    """Mapping between original table columns and model columns."""
+
+    def __init__(self, table: Table, threshold: int = 2048, bits: int = 11):
+        base = 2 ** bits
+        self.threshold = threshold
+        self.base = base
+        self.specs: list[FactorSpec] = []
+        self.model_domains: list[int] = []
+        self.model_names: list[str] = []
+        # model_owner[j] = (original column index, 0 for hi / value, 1 for lo)
+        self.model_owner: list[tuple[int, int]] = []
+        for idx, col in enumerate(table.columns):
+            if col.size > threshold:
+                hi_size = int(np.ceil(col.size / base))
+                if hi_size > base:
+                    raise ValueError(
+                        f"column {col.name!r} too large for 2-factor split "
+                        f"({col.size} > {base * base})")
+                spec = FactorSpec(idx, col.name, col.size, True, base, hi_size)
+                self.specs.append(spec)
+                self.model_domains.extend([hi_size, base])
+                self.model_names.extend([f"{col.name}__hi", f"{col.name}__lo"])
+                self.model_owner.extend([(idx, 0), (idx, 1)])
+            else:
+                spec = FactorSpec(idx, col.name, col.size, False, 1, col.size)
+                self.specs.append(spec)
+                self.model_domains.append(col.size)
+                self.model_names.append(col.name)
+                self.model_owner.append((idx, 0))
+
+    @property
+    def num_model_cols(self) -> int:
+        return len(self.model_domains)
+
+    @property
+    def any_factored(self) -> bool:
+        return any(s.factored for s in self.specs)
+
+    def encode_rows(self, codes: np.ndarray) -> np.ndarray:
+        """Original code rows -> model code rows."""
+        codes = np.asarray(codes)
+        out = np.empty((len(codes), self.num_model_cols), dtype=np.int32)
+        j = 0
+        for spec in self.specs:
+            col = codes[:, spec.original_index]
+            if spec.factored:
+                out[:, j] = col // spec.base
+                out[:, j + 1] = col % spec.base
+                j += 2
+            else:
+                out[:, j] = col
+                j += 1
+        return out
+
+    def decode_rows(self, model_codes: np.ndarray) -> np.ndarray:
+        """Model code rows -> original code rows (clipping overflow lows)."""
+        model_codes = np.asarray(model_codes)
+        out = np.empty((len(model_codes), len(self.specs)), dtype=np.int32)
+        j = 0
+        for k, spec in enumerate(self.specs):
+            if spec.factored:
+                vals = model_codes[:, j] * spec.base + model_codes[:, j + 1]
+                out[:, k] = np.minimum(vals, spec.domain_size - 1)
+                j += 2
+            else:
+                out[:, k] = model_codes[:, j]
+                j += 1
+        return out
+
+    def expand_masks(self, masks: dict[int, np.ndarray]) -> list:
+        """Translate original-column masks to per-model-column constraints.
+
+        Returns a list aligned with model columns whose entries are:
+
+        * ``None`` — unconstrained (wildcard);
+        * ``("fixed", mask)`` — plain boolean mask over the model domain;
+        * ``("lo", grid)`` — constraint for a low digit: ``grid`` has shape
+          ``[hi_size, base]``; the valid low digits are ``grid[h]`` for the
+          *sampled* high digit ``h`` (resolved inside the samplers).
+        """
+        out: list = [None] * self.num_model_cols
+        j = 0
+        for spec in self.specs:
+            mask = masks.get(spec.original_index)
+            if not spec.factored:
+                if mask is not None:
+                    out[j] = ("fixed", mask.astype(bool))
+                j += 1
+                continue
+            if mask is None:
+                j += 2
+                continue
+            padded = np.zeros(spec.hi_size * spec.base, dtype=bool)
+            padded[:spec.domain_size] = mask
+            grid = padded.reshape(spec.hi_size, spec.base)
+            hi_mask = grid.any(axis=1)
+            out[j] = ("fixed", hi_mask)
+            out[j + 1] = ("lo", grid)
+            j += 2
+        return out

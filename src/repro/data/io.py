@@ -1,0 +1,96 @@
+"""CSV import/export for tables.
+
+``Table.from_raw`` covers programmatic use; this module covers the common
+case of pointing the library at a CSV extract (the paper's datasets all
+ship as CSVs).  Types are inferred per column: integers, then floats, then
+strings; empty fields become a NULL sentinel consistent with
+:mod:`repro.joins.sampler` (-1 for numeric, "" for strings).
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from .table import Table
+
+NUMERIC_NULL = -1
+STRING_NULL = ""
+
+
+def _infer_column(values: list[str]) -> np.ndarray:
+    """Best-effort typed array from raw CSV strings."""
+    non_empty = [v for v in values if v != ""]
+    as_int = True
+    as_float = True
+    for v in non_empty:
+        if as_int:
+            try:
+                int(v)
+            except ValueError:
+                as_int = False
+        if not as_int and as_float:
+            try:
+                float(v)
+            except ValueError:
+                as_float = False
+                break
+    if as_int and non_empty:
+        return np.array([int(v) if v != "" else NUMERIC_NULL
+                         for v in values], dtype=np.int64)
+    if as_float and non_empty:
+        return np.array([float(v) if v != "" else float(NUMERIC_NULL)
+                         for v in values], dtype=np.float64)
+    return np.array([v if v != "" else STRING_NULL for v in values],
+                    dtype=object).astype(str)
+
+
+def read_csv(path: str, name: str | None = None,
+             columns: list[str] | None = None,
+             max_rows: int | None = None,
+             delimiter: str = ",") -> Table:
+    """Load a CSV (with header row) into a dictionary-encoded Table.
+
+    ``columns`` restricts to a subset (the paper keeps 11 of DMV's
+    columns, for example); ``max_rows`` caps ingestion for sampling runs.
+    """
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty file") from None
+        header = [h.strip() for h in header]
+        if columns is not None:
+            missing = [c for c in columns if c not in header]
+            if missing:
+                raise KeyError(f"{path}: columns not in header: {missing}")
+            keep = [header.index(c) for c in columns]
+        else:
+            columns = header
+            keep = list(range(len(header)))
+        raw: list[list[str]] = [[] for _ in keep]
+        for i, row in enumerate(reader):
+            if max_rows is not None and i >= max_rows:
+                break
+            if len(row) < len(header):
+                row = row + [""] * (len(header) - len(row))
+            for out, idx in zip(raw, keep):
+                out.append(row[idx].strip())
+    if not raw or not raw[0]:
+        raise ValueError(f"{path}: no data rows")
+    data = {cname: _infer_column(vals) for cname, vals in zip(columns, raw)}
+    table_name = name or path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return Table.from_raw(table_name, data)
+
+
+def write_csv(table: Table, path: str, delimiter: str = ",") -> None:
+    """Write a table's decoded raw values back to CSV."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        decoded = [col.decode(table.codes[:, j])
+                   for j, col in enumerate(table.columns)]
+        for i in range(table.num_rows):
+            writer.writerow([decoded[j][i] for j in range(table.num_cols)])

@@ -1,0 +1,95 @@
+"""Dataset statistics used by the paper (Section 5.1.1).
+
+* Fisher–Pearson standardized moment coefficient for per-column skewness.
+* Nonlinear Correlation Information Entropy (NCIE, Wang et al. 2005) for
+  overall multivariate correlation.
+
+The generators in :mod:`repro.data.datasets` are tuned so these statistics
+land near the paper's reported values (DMV 4.9 / 0.23, Census 2.1 / 0.15,
+Kddcup98 4.7 / 0.32).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fisher_pearson_skewness(values: np.ndarray) -> float:
+    """g1 = m3 / m2^(3/2) for one numeric sample."""
+    values = np.asarray(values, dtype=np.float64)
+    mu = values.mean()
+    centered = values - mu
+    m2 = np.mean(centered ** 2)
+    if m2 == 0:
+        return 0.0
+    m3 = np.mean(centered ** 3)
+    return float(m3 / m2 ** 1.5)
+
+
+def dataset_skewness(codes: np.ndarray) -> float:
+    """Mean per-column skewness of the *frequency* distribution.
+
+    Measures how unevenly mass is spread over each column's distinct
+    values (uniform -> 0, Zipf-heavy -> large), which is the property that
+    stresses estimators; the raw value axis is an arbitrary dictionary
+    order, so skewness is computed on the per-value counts.
+    """
+    per_col = []
+    for j in range(codes.shape[1]):
+        counts = np.bincount(codes[:, j])
+        counts = counts[counts > 0]
+        per_col.append(abs(fisher_pearson_skewness(counts)))
+    return float(np.mean(per_col))
+
+
+def _rank_grid_entropy(x: np.ndarray, y: np.ndarray, bins: int = 8) -> float:
+    """Nonlinear correlation coefficient between two samples.
+
+    NCIE rank-grids both samples into ``bins`` x ``bins`` cells and computes
+    a normalized mutual-information-style coefficient in [0, 1].
+    """
+    n = len(x)
+    rx = np.argsort(np.argsort(x, kind="stable"), kind="stable")
+    ry = np.argsort(np.argsort(y, kind="stable"), kind="stable")
+    bx = np.minimum((rx * bins) // n, bins - 1)
+    by = np.minimum((ry * bins) // n, bins - 1)
+    joint = np.zeros((bins, bins), dtype=np.float64)
+    np.add.at(joint, (bx, by), 1.0)
+    joint /= n
+    nz = joint[joint > 0]
+    # Revised joint entropy relative to the uniform-marginal baseline.
+    h_joint = -np.sum(nz * np.log(nz) / np.log(bins * bins))
+    ncc = 2.0 - 2.0 * h_joint
+    return float(np.clip(ncc, 0.0, 1.0))
+
+
+def ncie(codes: np.ndarray, bins: int = 8, max_pairs: int = 300,
+         rng: np.random.Generator | None = None) -> float:
+    """Nonlinear Correlation Information Entropy of the whole matrix.
+
+    Builds the nonlinear-correlation matrix R (pairwise rank-grid
+    coefficients, diagonal 1) and returns the entropy-based scalar
+    ``NCIE = 1 + sum_i (lam_i/n) log_n (lam_i/n)`` where ``lam_i`` are R's
+    eigenvalues.  0 = fully independent, 1 = fully correlated.
+    """
+    n_cols = codes.shape[1]
+    pairs = [(i, j) for i in range(n_cols) for j in range(i + 1, n_cols)]
+    if len(pairs) > max_pairs:
+        rng = rng or np.random.default_rng(0)
+        sel = rng.choice(len(pairs), size=max_pairs, replace=False)
+        pairs = [pairs[k] for k in sel]
+        # With sampled pairs we approximate: mean off-diagonal coefficient.
+        vals = [_rank_grid_entropy(codes[:, i], codes[:, j], bins)
+                for i, j in pairs]
+        mean_r = float(np.mean(vals))
+        matrix = np.full((n_cols, n_cols), mean_r)
+        np.fill_diagonal(matrix, 1.0)
+    else:
+        matrix = np.eye(n_cols)
+        for i, j in pairs:
+            r = _rank_grid_entropy(codes[:, i], codes[:, j], bins)
+            matrix[i, j] = matrix[j, i] = r
+    eig = np.linalg.eigvalsh(matrix)
+    eig = np.clip(eig, 1e-12, None)
+    frac = eig / n_cols
+    return float(1.0 + np.sum(frac * np.log(frac)) / np.log(n_cols))

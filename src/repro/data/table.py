@@ -1,0 +1,104 @@
+"""Dictionary-encoded in-memory tables.
+
+A :class:`Table` stores one int32 code matrix ``[rows, cols]`` plus the
+:class:`~repro.data.column.Column` dictionaries.  All estimators operate on
+codes; raw values only matter at the API boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .column import Column
+
+
+class Table:
+    """A relation T with named, dictionary-encoded columns."""
+
+    def __init__(self, name: str, columns: Sequence[Column], codes: np.ndarray):
+        codes = np.asarray(codes, dtype=np.int32)
+        if codes.ndim != 2 or codes.shape[1] != len(columns):
+            raise ValueError(
+                f"codes shape {codes.shape} inconsistent with "
+                f"{len(columns)} columns")
+        for j, col in enumerate(columns):
+            hi = codes[:, j].max(initial=0)
+            if hi >= col.size:
+                raise ValueError(
+                    f"column {col.name!r} has code {hi} >= domain {col.size}")
+        self.name = name
+        self.columns = list(columns)
+        self.codes = codes
+        self._index = {c.name: i for i, c in enumerate(self.columns)}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_raw(cls, name: str, data: Mapping[str, np.ndarray]) -> "Table":
+        """Build from a mapping of column name -> raw value array."""
+        if not data:
+            raise ValueError("no columns given")
+        lengths = {len(v) for v in data.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        columns = [Column(cname, raw) for cname, raw in data.items()]
+        codes = np.column_stack(
+            [col.codes_of(np.asarray(data[col.name])) for col in columns])
+        return cls(name, columns, codes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        return self.codes.shape[1]
+
+    @property
+    def domain_sizes(self) -> list[int]:
+        return [c.size for c in self.columns]
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no column {name!r} in table {self.name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    def __repr__(self) -> str:
+        return (f"Table({self.name!r}, rows={self.num_rows}, "
+                f"cols={self.num_cols})")
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def sample_rows(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform sample (with replacement) of code rows."""
+        idx = rng.integers(0, self.num_rows, size=n)
+        return self.codes[idx]
+
+    def append_rows(self, codes: np.ndarray) -> "Table":
+        """Return a new table with extra code rows (incremental data)."""
+        codes = np.asarray(codes, dtype=np.int32)
+        return Table(self.name, self.columns, np.vstack([self.codes, codes]))
+
+    def project(self, names: Sequence[str]) -> "Table":
+        idx = [self.column_index(n) for n in names]
+        return Table(self.name, [self.columns[i] for i in idx],
+                     self.codes[:, idx])
+
+    def raw_column(self, name: str) -> np.ndarray:
+        i = self.column_index(name)
+        return self.columns[i].decode(self.codes[:, i])

@@ -1,0 +1,41 @@
+"""The nine baseline estimators of the paper's evaluation plus extras.
+
+Query-driven: :class:`LinearRegressionEstimator` (LR), :class:`MSCNBase`.
+Data-driven: :class:`SamplingEstimator`, :class:`BayesNetEstimator`,
+:class:`KDEEstimator`, :class:`SPNEstimator` (DeepDB), :class:`Naru`.
+Hybrid: :class:`MSCNSampling`, :class:`FeedbackKDEEstimator`.
+Extra (sub-baseline the paper mentions): :class:`IndependenceHistogramEstimator`.
+"""
+
+from .base import CardinalityEstimator, TrainableEstimator, describe_size
+from .sampling import SamplingEstimator
+from .histogram import Histogram1D, IndependenceHistogramEstimator
+from .lr import LinearRegressionEstimator, range_features
+from .bayesnet import BayesNetEstimator, chow_liu_tree
+from .kde import FeedbackKDEEstimator, KDEEstimator, mask_to_intervals
+from .spn import SPNEstimator
+from .mscn import MSCNBase, MSCNSampling
+from .quicksel import QuickSelEstimator
+from .mhist import MHISTEstimator
+from .stholes import STHolesEstimator
+from .capabilities import CAPABILITY_MATRIX, IMPLEMENTATIONS, capability_rows
+
+
+def __getattr__(name: str):
+    # Imported lazily: Naru subclasses repro.core.uae.UAE, and repro.core
+    # itself depends on this package's ``base`` module.
+    if name == "Naru":
+        from .naru import Naru
+        return Naru
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CardinalityEstimator", "TrainableEstimator", "describe_size",
+    "SamplingEstimator", "Histogram1D", "IndependenceHistogramEstimator",
+    "LinearRegressionEstimator", "range_features",
+    "BayesNetEstimator", "chow_liu_tree",
+    "KDEEstimator", "FeedbackKDEEstimator", "mask_to_intervals",
+    "SPNEstimator", "MSCNBase", "MSCNSampling", "Naru",
+    "QuickSelEstimator", "MHISTEstimator", "STHolesEstimator",
+    "CAPABILITY_MATRIX", "IMPLEMENTATIONS", "capability_rows",
+]

@@ -1,0 +1,67 @@
+"""Common estimator interface.
+
+Every estimator — data-driven, query-driven or hybrid — implements
+:class:`CardinalityEstimator`: ``estimate(query)`` returns a cardinality in
+rows, ``size_bytes()`` reports the model budget (the "Size" column of the
+paper's tables), and ``name`` labels result rows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data.table import Table
+from ..workload.predicate import LabeledWorkload, Query
+
+
+class CardinalityEstimator:
+    """Abstract base for all estimators."""
+
+    name: str = "base"
+
+    def __init__(self, table: Table):
+        self.table = table
+
+    def estimate(self, query: Query) -> float:
+        raise NotImplementedError
+
+    def estimate_many(self, queries: list[Query]) -> np.ndarray:
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)
+
+    def size_bytes(self) -> int:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def _clamp_card(self, selectivity: float) -> float:
+        """Selectivity -> cardinality, clamped to [0, |T|]."""
+        sel = min(max(float(selectivity), 0.0), 1.0)
+        return sel * self.table.num_rows
+
+    def latency_seconds(self, queries: list[Query], repeats: int = 1) -> float:
+        """Mean wall-clock seconds per estimate (Figure 5(2))."""
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for q in queries:
+                self.estimate(q)
+        elapsed = time.perf_counter() - start
+        return elapsed / (repeats * max(len(queries), 1))
+
+
+class TrainableEstimator(CardinalityEstimator):
+    """Estimators with an explicit fit step."""
+
+    def fit(self, workload: LabeledWorkload | None = None) -> "TrainableEstimator":
+        raise NotImplementedError
+
+
+def describe_size(num_bytes: int) -> str:
+    """Human-readable size, matching the paper's table formatting."""
+    if num_bytes < 1024:
+        return f"{num_bytes}B"
+    if num_bytes < 1024 ** 2:
+        return f"{num_bytes / 1024:.0f}KB"
+    return f"{num_bytes / 1024 ** 2:.1f}MB"

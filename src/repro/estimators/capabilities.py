@@ -1,0 +1,79 @@
+"""The paper's Table 1: a capability matrix over estimator families.
+
+Each entry mirrors a row of "A summary of existing cardinality estimation
+methods": whether the method avoids independence/uniformity assumptions,
+which information sources it learns from, whether it ingests incremental
+data / query workloads, and whether estimation is efficient.  Rendered by
+``python -m repro.bench`` consumers and checked by tests so the matrix
+stays in sync with what the code actually supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Capability:
+    category: str
+    method: str
+    without_assumptions: bool
+    learns_from_data: bool
+    learns_from_queries: bool
+    incremental_data: bool
+    incremental_queries: bool
+    efficient_estimation: bool
+
+
+CAPABILITY_MATRIX: list[Capability] = [
+    Capability("data-driven", "Sampling", True, True, False, True, False, False),
+    Capability("data-driven", "Histograms", False, True, False, False, False, True),
+    Capability("data-driven", "KDE", True, True, False, True, False, True),
+    Capability("data-driven", "PGM/BayesNet", False, True, False, False, False, True),
+    Capability("data-driven", "RSPN/DeepDB", False, True, False, True, False, True),
+    Capability("data-driven", "DL models (Naru/MADE)", True, True, False, True, False, True),
+    Capability("query-driven", "Query histograms (STHoles)", False, False, True, False, True, True),
+    Capability("query-driven", "Mixture models (QuickSel)", False, False, True, False, True, True),
+    Capability("query-driven", "DL models (MSCN/LR)", True, False, True, False, True, True),
+    Capability("hybrid", "Sampling-enhanced ML (MSCN+sampling)", True, True, True, False, False, True),
+    Capability("hybrid", "Histogram-enhanced ML", False, True, True, False, True, True),
+    Capability("hybrid", "Query-enhanced KDE (Feedback-KDE)", True, True, True, True, True, True),
+    Capability("hybrid", "UAE (ours)", True, True, True, True, True, True),
+]
+
+
+#: Maps matrix rows to the classes implementing them in this repository.
+IMPLEMENTATIONS: dict[str, str] = {
+    "Sampling": "repro.estimators.SamplingEstimator",
+    "Histograms": "repro.estimators.IndependenceHistogramEstimator",
+    "KDE": "repro.estimators.KDEEstimator",
+    "PGM/BayesNet": "repro.estimators.BayesNetEstimator",
+    "RSPN/DeepDB": "repro.estimators.SPNEstimator",
+    "DL models (Naru/MADE)": "repro.estimators.Naru",
+    "Query histograms (STHoles)": "repro.estimators.stholes.STHolesEstimator",
+    "Mixture models (QuickSel)": "repro.estimators.quicksel.QuickSelEstimator",
+    "DL models (MSCN/LR)": "repro.estimators.MSCNBase",
+    "Sampling-enhanced ML (MSCN+sampling)": "repro.estimators.MSCNSampling",
+    "Query-enhanced KDE (Feedback-KDE)": "repro.estimators.FeedbackKDEEstimator",
+    "UAE (ours)": "repro.core.UAE",
+}
+
+
+def capability_rows() -> list[dict]:
+    """Rows for :func:`repro.bench.reporting.format_table` (paper Table 1)."""
+    def tick(flag: bool) -> str:
+        return "yes" if flag else ""
+
+    rows = []
+    for cap in CAPABILITY_MATRIX:
+        rows.append({
+            "category": cap.category,
+            "method": cap.method,
+            "no_assumptions": tick(cap.without_assumptions),
+            "from_data": tick(cap.learns_from_data),
+            "from_queries": tick(cap.learns_from_queries),
+            "incr_data": tick(cap.incremental_data),
+            "incr_queries": tick(cap.incremental_queries),
+            "efficient": tick(cap.efficient_estimation),
+        })
+    return rows

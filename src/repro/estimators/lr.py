@@ -1,0 +1,64 @@
+"""Query-driven linear regression (paper baseline 2, "LR").
+
+Represents a query as the concatenation of each attribute's normalised
+domain range (following Dutt et al. 2019) and fits ridge regression from
+query features to log-selectivity.  The non-deep query-driven counterpart
+that the paper uses to show the value of DL-based query models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.table import Table
+from ..workload.predicate import LabeledWorkload, Query
+from .base import TrainableEstimator
+
+
+def range_features(table: Table, query: Query) -> np.ndarray:
+    """Per column: (lo/|A|, hi/|A|, queried-flag); wildcards span [0, 1]."""
+    feats = np.zeros(table.num_cols * 3, dtype=np.float64)
+    masks = query.masks(table)
+    for j, col in enumerate(table.columns):
+        mask = masks.get(j)
+        if mask is None or not mask.any():
+            lo, hi, flag = 0.0, 1.0, 0.0
+        else:
+            nz = np.flatnonzero(mask)
+            lo = nz[0] / col.size
+            hi = (nz[-1] + 1) / col.size
+            flag = 1.0
+        feats[3 * j:3 * j + 3] = (lo, hi, flag)
+    return feats
+
+
+class LinearRegressionEstimator(TrainableEstimator):
+    name = "LR"
+
+    def __init__(self, table: Table, l2: float = 1e-3):
+        super().__init__(table)
+        self.l2 = l2
+        self.weights: np.ndarray | None = None
+
+    def fit(self, workload: LabeledWorkload | None = None
+            ) -> "LinearRegressionEstimator":
+        if workload is None or len(workload) == 0:
+            raise ValueError("LR needs a labeled workload")
+        feats = np.stack([range_features(self.table, q)
+                          for q in workload.queries])
+        feats = np.hstack([feats, np.ones((len(feats), 1))])
+        target = np.log(np.maximum(
+            workload.selectivities(self.table.num_rows), 1e-9))
+        gram = feats.T @ feats + self.l2 * np.eye(feats.shape[1])
+        self.weights = np.linalg.solve(gram, feats.T @ target)
+        return self
+
+    def estimate(self, query: Query) -> float:
+        if self.weights is None:
+            raise RuntimeError("call fit() first")
+        feats = np.append(range_features(self.table, query), 1.0)
+        log_sel = float(feats @ self.weights)
+        return self._clamp_card(np.exp(log_sel))
+
+    def size_bytes(self) -> int:
+        return 0 if self.weights is None else int(self.weights.size * 8)

@@ -1,0 +1,177 @@
+"""MSCN (Kipf et al. 2019) — multi-set convolutional network baselines.
+
+* :class:`MSCNBase` — the paper's single-table adaptation: the join module
+  is dropped; each predicate is featurised as (column one-hot, operator
+  one-hot, normalised literal), passed through a shared per-predicate MLP,
+  average-pooled over the predicate set and fed to an output MLP that
+  predicts normalised log-cardinality.
+* :class:`MSCNSampling` — "MSCN+sampling" (baseline 8): the estimator
+  additionally materialises a uniform row sample and feeds the query's
+  sample *bitmap* through its own branch — the hybrid-by-features approach
+  the paper contrasts with UAE's unified training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.table import Table
+from ..nn import Adam, Linear, Module, Tensor
+from ..nn import functional as F
+from ..workload.predicate import SUPPORTED_OPS, LabeledWorkload, Query
+from .base import TrainableEstimator
+
+_OP_INDEX = {op: i for i, op in enumerate(SUPPORTED_OPS)}
+
+
+class _SetMLP(Module):
+    """Shared predicate MLP -> mean pool -> output MLP."""
+
+    def __init__(self, pred_dim: int, hidden: int, extra_dim: int,
+                 rng: np.random.Generator):
+        self.pred_fc1 = Linear(pred_dim, hidden, rng)
+        self.pred_fc2 = Linear(hidden, hidden, rng)
+        self.extra_fc = Linear(extra_dim, hidden, rng) if extra_dim else None
+        merged = hidden + (hidden if extra_dim else 0)
+        self.out_fc1 = Linear(merged, hidden, rng)
+        self.out_fc2 = Linear(hidden, 1, rng)
+
+    def forward(self, pred_feats: Tensor, pred_mask: np.ndarray,
+                extra: Tensor | None = None) -> Tensor:
+        b, p, d = pred_feats.shape
+        flat = pred_feats.reshape(b * p, d)
+        h = self.pred_fc2(self.pred_fc1(flat).relu()).relu()
+        h = h * Tensor(pred_mask.reshape(b * p, 1).astype(np.float32))
+        pooled = h.reshape(b, p, -1).sum(axis=1)
+        counts = np.maximum(pred_mask.sum(axis=1, keepdims=True), 1.0)
+        pooled = pooled * Tensor((1.0 / counts).astype(np.float32))
+        if self.extra_fc is not None:
+            if extra is None:
+                raise ValueError("extra branch configured but no input given")
+            pooled = _concat(pooled, self.extra_fc(extra).relu())
+        out = self.out_fc2(self.out_fc1(pooled).relu())
+        return out.reshape(b).sigmoid()
+
+
+def _concat(a: Tensor, b: Tensor) -> Tensor:
+    from ..nn.tensor import concatenate
+    return concatenate([a, b], axis=-1)
+
+
+class MSCNBase(TrainableEstimator):
+    name = "MSCN-base"
+
+    def __init__(self, table: Table, hidden: int = 64, lr: float = 1e-3,
+                 epochs: int = 60, batch_size: int = 64, seed: int = 0):
+        super().__init__(table)
+        self.hidden = hidden
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+        self.pred_dim = table.num_cols + len(SUPPORTED_OPS) + 1
+        self.net = _SetMLP(self.pred_dim, hidden, self._extra_dim(), self.rng)
+        self._log_norm = np.log(table.num_rows + 1.0)
+
+    def _extra_dim(self) -> int:
+        return 0
+
+    def _extra_features(self, queries: list[Query]) -> np.ndarray | None:
+        return None
+
+    # ------------------------------------------------------------------
+    # Featurisation
+    # ------------------------------------------------------------------
+    def _featurize(self, queries: list[Query]) -> tuple[np.ndarray, np.ndarray]:
+        max_preds = max((len(q) for q in queries), default=1) or 1
+        feats = np.zeros((len(queries), max_preds, self.pred_dim),
+                         dtype=np.float32)
+        mask = np.zeros((len(queries), max_preds), dtype=np.float32)
+        for qi, query in enumerate(queries):
+            for pi, pred in enumerate(query.predicates):
+                col_idx = self.table.column_index(pred.column)
+                col = self.table.columns[col_idx]
+                feats[qi, pi, col_idx] = 1.0
+                feats[qi, pi, self.table.num_cols + _OP_INDEX[pred.op]] = 1.0
+                value = pred.value[0] if pred.op == "IN" else pred.value
+                lo, hi = col.code_range("=", value)
+                code = lo if lo < hi else min(lo, col.size - 1)
+                feats[qi, pi, -1] = code / max(col.size - 1, 1)
+                mask[qi, pi] = 1.0
+        return feats, mask
+
+    # ------------------------------------------------------------------
+    def fit(self, workload: LabeledWorkload | None = None) -> "MSCNBase":
+        if workload is None or len(workload) == 0:
+            raise ValueError("MSCN needs a labeled workload")
+        feats, mask = self._featurize(workload.queries)
+        extra = self._extra_features(workload.queries)
+        target = np.log(workload.cardinalities + 1.0) / self._log_norm
+        target = target.astype(np.float32)
+        optimizer = Adam(self.net.parameters(), lr=self.lr)
+        n = len(feats)
+        for _ in range(self.epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                extra_t = None if extra is None else Tensor(extra[idx])
+                pred = self.net(Tensor(feats[idx]), mask[idx], extra_t)
+                loss = F.mse_loss(pred, target[idx])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def estimate(self, query: Query) -> float:
+        return float(self.estimate_many([query])[0])
+
+    def estimate_many(self, queries: list[Query]) -> np.ndarray:
+        feats, mask = self._featurize(queries)
+        extra = self._extra_features(queries)
+        extra_t = None if extra is None else Tensor(extra)
+        pred = self.net(Tensor(feats), mask, extra_t).data.astype(np.float64)
+        cards = np.exp(pred * self._log_norm) - 1.0
+        return np.clip(cards, 0.0, self.table.num_rows)
+
+    def size_bytes(self) -> int:
+        return self.net.size_bytes()
+
+
+class MSCNSampling(MSCNBase):
+    name = "MSCN+sampling"
+
+    def __init__(self, table: Table, hidden: int = 64, lr: float = 1e-3,
+                 epochs: int = 60, batch_size: int = 64, seed: int = 0,
+                 bitmap_size: int = 64, sample_budget_bytes: int | None = None):
+        self.bitmap_size = bitmap_size
+        super().__init__(table, hidden=hidden, lr=lr, epochs=epochs,
+                         batch_size=batch_size, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        if sample_budget_bytes is not None:
+            rows = max(bitmap_size,
+                       sample_budget_bytes // (4 * table.num_cols))
+        else:
+            rows = 1024
+        rows = min(rows, table.num_rows)
+        idx = rng.choice(table.num_rows, size=rows, replace=False)
+        self.sample = table.codes[idx]
+
+    def _extra_dim(self) -> int:
+        return self.bitmap_size + 2
+
+    def _extra_features(self, queries: list[Query]) -> np.ndarray:
+        """Bitmap over the first ``bitmap_size`` sample rows + the sample
+        selectivity estimate (raw and log)."""
+        out = np.zeros((len(queries), self.bitmap_size + 2), dtype=np.float32)
+        for qi, query in enumerate(queries):
+            keep = np.ones(len(self.sample), dtype=bool)
+            for idx, mask in query.masks(self.table).items():
+                keep &= mask[self.sample[:, idx]]
+            frac = keep.mean()
+            out[qi, :self.bitmap_size] = keep[:self.bitmap_size]
+            out[qi, -2] = frac
+            out[qi, -1] = np.log(frac + 1e-6)
+        return out
+
+    def size_bytes(self) -> int:
+        return self.net.size_bytes() + int(self.sample.size * 4)

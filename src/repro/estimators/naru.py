@@ -1,0 +1,30 @@
+"""Naru (Yang et al. 2020) — deep unsupervised cardinality estimation.
+
+The paper proves UAE-D is *equivalent* to Naru (Section 4.7): the same
+ResMADE, the same data-only cross-entropy objective, the same progressive
+sampling at inference.  We therefore implement Naru as UAE restricted to
+``mode="data"`` — literally sharing every line of model code, exactly the
+relationship the paper describes.
+"""
+
+from __future__ import annotations
+
+from ..core.uae import UAE, UAEConfig
+from ..data.table import Table
+from ..workload.predicate import LabeledWorkload
+
+
+class Naru(UAE):
+    name = "Naru"
+
+    def __init__(self, table: Table, config: UAEConfig | None = None,
+                 **overrides):
+        super().__init__(table, config, **overrides)
+
+    def fit(self, epochs: int = 10,
+            workload: LabeledWorkload | None = None,
+            mode: str = "data", **kwargs) -> "Naru":
+        if mode != "data":
+            raise ValueError("Naru is data-only; use UAE for hybrid training")
+        super().fit(epochs=epochs, workload=None, mode="data", **kwargs)
+        return self

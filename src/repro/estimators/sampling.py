@@ -1,0 +1,46 @@
+"""Uniform-sampling estimator (paper baseline 3).
+
+Materialises a ``p``-fraction uniform sample of the table and answers
+queries by scanning it.  The sample size is chosen to match a memory budget
+(the paper sizes it to the autoregressive model's footprint).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.table import Table
+from ..workload.predicate import Query
+from .base import CardinalityEstimator
+
+
+class SamplingEstimator(CardinalityEstimator):
+    name = "Sampling"
+
+    def __init__(self, table: Table, fraction: float | None = None,
+                 budget_bytes: int | None = None, seed: int = 0):
+        super().__init__(table)
+        if fraction is None and budget_bytes is None:
+            raise ValueError("give either fraction or budget_bytes")
+        if fraction is None:
+            bytes_per_row = 4 * table.num_cols
+            rows = max(1, budget_bytes // bytes_per_row)
+            fraction = min(1.0, rows / table.num_rows)
+        self.fraction = float(fraction)
+        rng = np.random.default_rng(seed)
+        n = max(1, int(round(self.fraction * table.num_rows)))
+        idx = rng.choice(table.num_rows, size=min(n, table.num_rows),
+                         replace=False)
+        self.sample = table.codes[idx]
+
+    def estimate(self, query: Query) -> float:
+        keep = np.ones(len(self.sample), dtype=bool)
+        for idx, mask in query.masks(self.table).items():
+            keep &= mask[self.sample[:, idx]]
+            if not keep.any():
+                break
+        sel = keep.sum() / len(self.sample)
+        return self._clamp_card(sel)
+
+    def size_bytes(self) -> int:
+        return int(self.sample.size * 4)

@@ -1,0 +1,151 @@
+"""STHoles-style workload-aware histogram (Bruno, Chaudhuri & Gravano 2001).
+
+The other "worse than the 9" reference point of the paper's evaluation.
+STHoles maintains a *hierarchy* of buckets: query feedback drills holes —
+child buckets with exactly-known counts — into the enclosing bucket, so
+regions the workload touches get precise counts while untouched space
+keeps the coarse uniform estimate.
+
+This implementation keeps the structure (nested boxes, drilling on
+feedback, budget-bounded) and simplifies the maintenance policies: holes
+are only drilled for query boxes fully contained in a bucket that do not
+partially overlap existing children, and buckets beyond the budget stop
+drilling (the original merges buckets by penalty instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.table import Table
+from ..workload.predicate import LabeledWorkload, Query
+from .base import TrainableEstimator
+from .quicksel import query_box
+
+
+def _box_volume(box: np.ndarray) -> float:
+    widths = box[:, 1] - box[:, 0] + 1.0
+    if (widths <= 0).any():
+        return 0.0
+    return float(np.prod(widths))
+
+
+def _contains(outer: np.ndarray, inner: np.ndarray) -> bool:
+    return bool(np.all(outer[:, 0] <= inner[:, 0])
+                and np.all(inner[:, 1] <= outer[:, 1]))
+
+
+def _disjoint(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool(np.any(a[:, 1] < b[:, 0]) or np.any(b[:, 1] < a[:, 0]))
+
+
+def _intersection(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty_like(a)
+    out[:, 0] = np.maximum(a[:, 0], b[:, 0])
+    out[:, 1] = np.minimum(a[:, 1], b[:, 1])
+    return out
+
+
+@dataclass(eq=False)  # identity equality: children.remove must not compare
+class _HoleBucket:    # numpy boxes elementwise
+    box: np.ndarray
+    count: float                      # rows in box EXCLUDING children
+    children: list["_HoleBucket"] = field(default_factory=list)
+
+    def own_volume(self) -> float:
+        vol = _box_volume(self.box)
+        for child in self.children:
+            vol -= _box_volume(child.box)
+        return max(vol, 1.0)
+
+    def estimate(self, qbox: np.ndarray) -> float:
+        """Rows of this subtree falling in ``qbox``."""
+        inter = _intersection(self.box, qbox)
+        if _box_volume(inter) <= 0:
+            return 0.0
+        total = 0.0
+        covered = 0.0
+        for child in self.children:
+            child_inter = _intersection(child.box, qbox)
+            vol = _box_volume(child_inter)
+            if vol > 0:
+                total += child.estimate(qbox)
+                covered += vol
+        own_overlap = max(_box_volume(inter) - covered, 0.0)
+        total += self.count * own_overlap / self.own_volume()
+        return total
+
+    def num_buckets(self) -> int:
+        return 1 + sum(c.num_buckets() for c in self.children)
+
+
+class STHolesEstimator(TrainableEstimator):
+    name = "STHoles"
+
+    def __init__(self, table: Table, max_buckets: int = 256):
+        super().__init__(table)
+        self.max_buckets = max_buckets
+        full = np.array([(0, col.size - 1) for col in table.columns],
+                        dtype=np.float64)
+        self.root = _HoleBucket(full, float(table.num_rows))
+
+    # ------------------------------------------------------------------
+    def fit(self, workload: LabeledWorkload | None = None
+            ) -> "STHolesEstimator":
+        if workload is None:
+            raise ValueError("STHoles builds itself from query feedback")
+        for query, card in zip(workload.queries, workload.cardinalities):
+            self.refine(query, float(card))
+        return self
+
+    def refine(self, query: Query, true_card: float) -> None:
+        """Drill a hole for one feedback record (query, cardinality)."""
+        if self.root.num_buckets() >= self.max_buckets:
+            return
+        qbox = query_box(self.table, query)
+        if _box_volume(qbox) <= 0:
+            return
+        self._drill(self.root, qbox, true_card)
+
+    def _drill(self, node: _HoleBucket, qbox: np.ndarray,
+               true_card: float) -> None:
+        # Recurse into a child that fully contains the query box.
+        for child in node.children:
+            if _contains(child.box, qbox):
+                self._drill(child, qbox, true_card)
+                return
+        # Drill here only if the box is clean w.r.t. existing children:
+        # fully inside this node, disjoint from all children (the original
+        # shrinks partial intersections; we skip them).
+        if not _contains(node.box, qbox):
+            return
+        contained_children = []
+        for child in node.children:
+            if _contains(qbox, child.box):
+                contained_children.append(child)
+            elif not _disjoint(qbox, child.box):
+                return  # partial overlap: skip (simplification)
+        child_count = sum(c.count + sum(g.count for g in c.children)
+                          for c in contained_children)
+        hole_count = max(true_card - child_count, 0.0)
+        hole = _HoleBucket(qbox.copy(), hole_count,
+                           children=contained_children)
+        for child in contained_children:
+            node.children.remove(child)
+        # The parent loses the rows now attributed to the hole.
+        node.count = max(node.count - hole_count, 0.0)
+        node.children.append(hole)
+
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> float:
+        qbox = query_box(self.table, query)
+        if _box_volume(qbox) <= 0:
+            return 0.0
+        est = self.root.estimate(qbox)
+        return float(min(max(est, 0.0), self.table.num_rows))
+
+    def size_bytes(self) -> int:
+        per_bucket = self.table.num_cols * 2 * 8 + 8
+        return self.root.num_buckets() * per_bucket

@@ -1,0 +1,121 @@
+"""Full-outer-join sampling for star schemas (paper Section 4.6).
+
+The paper trains UAE on join tuples "sampled by the Exact Weight algorithm"
+(Zhao et al. 2018) with indicator and fanout columns added (the
+Hilprecht/Yang treatment).  For a star schema centred on a fact table F
+with children C_1..C_k joined on F's key, the full outer join J contains,
+for every fact row t, ``prod_k max(c_k(t), 1)`` tuples where ``c_k(t)`` is
+t's match count in C_k (zero-match children contribute one NULL-padded
+tuple).
+
+Exact Weight sampling draws t proportional to that product — exactly
+uniform over J — then picks one matching child row per child uniformly
+(or the NULL row).  The emitted sample carries, per child:
+
+* ``__in_<child>``  — indicator: did t match anything in the child;
+* ``__fan_<child>`` — fanout: ``max(c_k(t), 1)``, used for downscaling;
+* the child's content columns (NULL encoded as -1, which sorts first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import Schema
+from ..data.table import Table
+
+NULL_SENTINEL = -1
+
+
+@dataclass
+class ChildIndex:
+    """Per-child join index: rows grouped by fact key."""
+
+    name: str
+    content_cols: list[str]
+    sorted_rows: np.ndarray      # child codes sorted by fk value
+    offsets: np.ndarray          # offsets[t]..offsets[t+1] = t's matches
+    counts: np.ndarray           # c_k(t) per fact row
+    raw_content: dict[str, np.ndarray]
+
+
+def build_child_index(schema: Schema, child: str,
+                      n_facts: int) -> ChildIndex:
+    """Group one child table's rows by fact key for O(1) match lookup."""
+    fk = next(f for f in schema.foreign_keys if f.child == child)
+    table = schema.tables[child]
+    fk_vals = table.raw_column(fk.child_col).astype(np.int64)
+    order = np.argsort(fk_vals, kind="stable")
+    sorted_fk = fk_vals[order]
+    counts = np.bincount(sorted_fk, minlength=n_facts)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    content_cols = [c for c in table.column_names if c != fk.child_col]
+    raw_content = {c: table.raw_column(c)[order] for c in content_cols}
+    return ChildIndex(child, content_cols, order, offsets, counts,
+                      raw_content)
+
+
+class StarJoinSampler:
+    """Exact-Weight sampler over the star's full outer join."""
+
+    def __init__(self, schema: Schema, seed: int = 0):
+        self.schema = schema
+        self.center = schema.center
+        fact = schema.tables[self.center]
+        key_col = schema.foreign_keys[0].parent_col
+        self.fact_keys = fact.raw_column(key_col).astype(np.int64)
+        self.n_facts = int(self.fact_keys.max()) + 1
+        self.children = [build_child_index(schema, c, self.n_facts)
+                         for c in schema.children]
+        self.rng = np.random.default_rng(seed)
+        # w(t) = prod_k max(c_k, 1); |J| = sum w.
+        weights = np.ones(len(self.fact_keys), dtype=np.float64)
+        for child in self.children:
+            weights *= np.maximum(child.counts[self.fact_keys], 1)
+        self.weights = weights
+        self.join_size = float(weights.sum())
+
+    # ------------------------------------------------------------------
+    def sample(self, n: int) -> Table:
+        """A uniform sample of the full outer join as one flat table."""
+        fact = self.schema.tables[self.center]
+        probs = self.weights / self.weights.sum()
+        fact_idx = self.rng.choice(len(self.fact_keys), p=probs, size=n)
+        fact_key = self.fact_keys[fact_idx]
+
+        data: dict[str, np.ndarray] = {}
+        key_col = self.schema.foreign_keys[0].parent_col
+        for cname in fact.column_names:
+            if cname == key_col:
+                continue  # the join key itself is not a content column
+            data[f"{self.center}.{cname}"] = fact.raw_column(cname)[fact_idx]
+
+        for child in self.children:
+            counts = child.counts[fact_key]
+            has_match = counts > 0
+            # Pick a uniform matching child row where matches exist.
+            pick = (child.offsets[fact_key]
+                    + (self.rng.random(n) * np.maximum(counts, 1)).astype(np.int64))
+            pick = np.minimum(pick, np.maximum(child.offsets[fact_key + 1] - 1,
+                                               child.offsets[fact_key]))
+            # Zero-match facts may index one past the end; their values are
+            # replaced by the NULL sentinel below, so clamping is safe.
+            pick = np.clip(pick, 0, max(len(next(iter(
+                child.raw_content.values()))) - 1, 0)) \
+                if child.raw_content else pick
+            data[f"__in_{child.name}"] = has_match.astype(np.int64)
+            data[f"__fan_{child.name}"] = np.maximum(counts, 1)
+            for ccol in child.content_cols:
+                values = child.raw_content[ccol][pick]
+                values = np.where(has_match, values, NULL_SENTINEL)
+                data[f"{child.name}.{ccol}"] = values
+        return Table.from_raw(f"{self.schema.name}_join_sample", data)
+
+    # ------------------------------------------------------------------
+    def child_counts(self, child_name: str) -> np.ndarray:
+        for child in self.children:
+            if child.name == child_name:
+                return child.counts
+        raise KeyError(child_name)

@@ -1,0 +1,26 @@
+"""From-scratch neural-network substrate (autodiff, layers, MADE, optim).
+
+This package replaces PyTorch for the reproduction: reverse-mode autodiff
+over numpy (:mod:`repro.nn.tensor`), a module system (:mod:`repro.nn.modules`),
+masked autoregressive networks (:mod:`repro.nn.made`), per-column encoders
+(:mod:`repro.nn.encoders`) and optimisers (:mod:`repro.nn.optim`).
+"""
+
+from .tensor import Tensor, add_constant, concatenate, ones, stack, tensor, where, zeros
+from .functional import (cross_entropy, log_softmax, masked_fill, mse_loss,
+                         msle_loss, qerror_loss, sample_gumbel, softmax)
+from .modules import (Dropout, Embedding, LayerNorm, Linear, MaskedLinear,
+                      Module, ReLU, Sequential)
+from .made import ResMADE
+from .optim import SGD, Adam
+
+__all__ = [
+    "Tensor", "tensor", "zeros", "ones", "concatenate", "stack", "where",
+    "add_constant",
+    "softmax", "log_softmax", "cross_entropy", "masked_fill", "qerror_loss",
+    "mse_loss", "msle_loss", "sample_gumbel",
+    "Module", "Linear", "MaskedLinear", "ReLU", "Sequential", "Embedding",
+    "LayerNorm", "Dropout",
+    "ResMADE",
+    "SGD", "Adam",
+]

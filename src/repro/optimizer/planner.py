@@ -1,0 +1,65 @@
+"""Selinger-style dynamic-programming join ordering with injected
+cardinalities.
+
+The paper modifies PostgreSQL to accept external cardinality estimates for
+every subquery (Section 5.6, following Cai et al. 2019); this module is the
+equivalent substrate: the DP planner consults an arbitrary cardinality
+function, so swapping estimators changes only the numbers it sees.
+
+Cross products are excluded: in a star schema a subset of tables is
+connected iff it is a singleton or contains the center table.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..data.schema import Schema
+from .cost import CardFn, Plan, join_cost, scan_cost
+
+
+def connected(subset: frozenset, center: str) -> bool:
+    """Star-schema connectivity: singleton or contains the center."""
+    return len(subset) == 1 or center in subset
+
+
+def best_plan(tables: list[str], center: str, card: CardFn) -> Plan:
+    """Exhaustive DP over connected subsets (<= 2^|tables| states)."""
+    tables = sorted(tables)
+    if not tables:
+        raise ValueError("no tables to plan")
+    best: dict[frozenset, tuple[float, Plan]] = {}
+    for name in tables:
+        s = frozenset([name])
+        best[s] = (scan_cost(card(s)), Plan(s))
+
+    for size in range(2, len(tables) + 1):
+        for combo in combinations(tables, size):
+            subset = frozenset(combo)
+            if not connected(subset, center):
+                continue
+            candidates: list[tuple[float, Plan]] = []
+            # Enumerate partitions into two connected halves.
+            members = sorted(subset)
+            for r in range(1, size):
+                for left_combo in combinations(members, r):
+                    left = frozenset(left_combo)
+                    right = subset - left
+                    if left not in best or right not in best:
+                        continue
+                    out = card(subset)
+                    cost = (best[left][0] + best[right][0]
+                            + join_cost(card(left), card(right), out))
+                    candidates.append(
+                        (cost, Plan(subset, best[left][1], best[right][1])))
+            if candidates:
+                best[subset] = min(candidates, key=lambda t: t[0])
+    full = frozenset(tables)
+    if full not in best:
+        raise RuntimeError("query graph is disconnected; cannot plan")
+    return best[full][1]
+
+
+def plan_for_query(schema: Schema, tables: list[str], card: CardFn) -> Plan:
+    """Best DP plan for the query's tables under a card function."""
+    return best_plan(tables, schema.center, card)

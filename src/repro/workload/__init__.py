@@ -1,0 +1,24 @@
+"""Workload substrate: predicates, queries, generation, execution, metrics."""
+
+from .predicate import (LabeledWorkload, Predicate, Query, conjunction,
+                        query_from_ranges)
+from .executor import (row_mask, true_cardinalities, true_cardinality,
+                       true_selectivity)
+from .generator import (WorkloadConfig, default_bounded_column,
+                        generate_inworkload, generate_random,
+                        generate_shifted_partitions)
+from .metrics import ErrorSummary, qerror, qerrors, summarize
+from .dnf import (DNFQuery, estimate_disjunction, intersect_queries,
+                  true_disjunction_cardinality)
+from .sqlparse import SQLParseError, parse_predicates, parse_query
+
+__all__ = [
+    "Predicate", "Query", "LabeledWorkload", "conjunction", "query_from_ranges",
+    "row_mask", "true_cardinality", "true_cardinalities", "true_selectivity",
+    "WorkloadConfig", "default_bounded_column", "generate_inworkload",
+    "generate_random", "generate_shifted_partitions",
+    "ErrorSummary", "qerror", "qerrors", "summarize",
+    "DNFQuery", "estimate_disjunction", "intersect_queries",
+    "true_disjunction_cardinality",
+    "parse_predicates", "parse_query", "SQLParseError",
+]

@@ -1,0 +1,93 @@
+"""Disjunction support via the inclusion-exclusion principle.
+
+The paper (Section 3) notes that an estimator for conjunctions extends to
+disjunctions: for a DNF query ``C_1 OR ... OR C_k``,
+
+    Sel(OR C_i) = sum over non-empty S of (-1)^(|S|+1) Sel(AND of S)
+
+where the conjunction of conjunctions intersects their per-column masks.
+Any :class:`~repro.estimators.base.CardinalityEstimator` can therefore
+answer DNF queries through :func:`estimate_disjunction`.
+
+The number of terms is ``2^k - 1``; callers should keep ``k`` modest (the
+typical OR fan-in in analytics queries is small).  Contradictory
+intersections (disjoint masks on the same column) contribute zero and are
+skipped without calling the estimator.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from ..data.table import Table
+from .executor import true_cardinality
+from .predicate import Predicate, Query
+
+
+class DNFQuery:
+    """A disjunction (OR) of conjunctive queries."""
+
+    def __init__(self, conjunctions: list[Query]):
+        if not conjunctions:
+            raise ValueError("a DNF query needs at least one conjunction")
+        self.conjunctions = list(conjunctions)
+
+    def __len__(self) -> int:
+        return len(self.conjunctions)
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({q})" for q in self.conjunctions)
+
+
+def intersect_queries(table: Table, queries: list[Query]) -> Query | None:
+    """The conjunction of several conjunctions, or None if contradictory.
+
+    Intersecting happens on code masks; the result is re-expressed with IN
+    predicates over the surviving values so any estimator can consume it.
+    """
+    merged: dict[int, np.ndarray] = {}
+    for query in queries:
+        for idx, mask in query.masks(table).items():
+            merged[idx] = merged[idx] & mask if idx in merged else mask
+    predicates: list[Predicate] = []
+    for idx, mask in sorted(merged.items()):
+        if not mask.any():
+            return None
+        column = table.columns[idx]
+        values = column.values[mask]
+        if len(values) == column.size:
+            continue  # unconstrained after all
+        predicates.append(Predicate(column.name, "IN", tuple(values)))
+    return Query(tuple(predicates))
+
+
+def estimate_disjunction(estimator, dnf: DNFQuery,
+                         max_terms: int = 1024) -> float:
+    """Cardinality of a DNF query via inclusion-exclusion."""
+    k = len(dnf)
+    if 2 ** k - 1 > max_terms:
+        raise ValueError(
+            f"inclusion-exclusion over {k} disjuncts needs {2 ** k - 1} "
+            f"terms (> {max_terms}); reduce the OR fan-in")
+    table = estimator.table
+    total = 0.0
+    for size in range(1, k + 1):
+        sign = 1.0 if size % 2 == 1 else -1.0
+        for combo in combinations(range(k), size):
+            subset = [dnf.conjunctions[i] for i in combo]
+            merged = intersect_queries(table, subset)
+            if merged is None:
+                continue
+            total += sign * estimator.estimate(merged)
+    return float(min(max(total, 0.0), table.num_rows))
+
+
+def true_disjunction_cardinality(table: Table, dnf: DNFQuery) -> int:
+    """Exact DNF cardinality by unioning row masks (ground truth)."""
+    from .executor import row_mask
+    keep = np.zeros(table.num_rows, dtype=bool)
+    for query in dnf.conjunctions:
+        keep |= row_mask(table, query)
+    return int(keep.sum())

@@ -1,0 +1,38 @@
+"""Exact query execution by scanning code matrices.
+
+Provides the ground-truth cardinalities that label training workloads and
+score estimators.  Everything is vectorised over rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.table import Table
+from .predicate import Query
+
+
+def row_mask(table: Table, query: Query) -> np.ndarray:
+    """Boolean mask of rows satisfying the conjunction."""
+    keep = np.ones(table.num_rows, dtype=bool)
+    for idx, valid in query.masks(table).items():
+        keep &= valid[table.codes[:, idx]]
+        if not keep.any():
+            break
+    return keep
+
+
+def true_cardinality(table: Table, query: Query) -> int:
+    """Exact number of rows satisfying the query (full scan)."""
+    return int(row_mask(table, query).sum())
+
+
+def true_cardinalities(table: Table, queries: list[Query]) -> np.ndarray:
+    """Vector of exact cardinalities for many queries."""
+    return np.array([true_cardinality(table, q) for q in queries],
+                    dtype=np.float64)
+
+
+def true_selectivity(table: Table, query: Query) -> float:
+    """Exact selectivity: cardinality over row count."""
+    return true_cardinality(table, query) / float(table.num_rows)

@@ -1,0 +1,163 @@
+"""Query-workload generation following the paper's Section 5.1.2.
+
+Two kinds of workloads:
+
+* **In-workload** queries have a *bounded attribute*: an attribute with a
+  relatively large domain receives a range predicate whose center is drawn
+  uniformly within a configurable range and whose width targets ~1% of the
+  attribute's distinct values (the "target volume").  Remaining filters are
+  random.
+* **Random** queries drop the bounded attribute entirely; every filter is
+  random.  These probe robustness to workload shift.
+
+Random filters follow [Kipf et al. 2019; Yang et al. 2020]: draw the number
+of filters, uniformly pick columns and operators, then take literals from a
+randomly sampled *tuple* so predicates land in populated regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Table
+from .executor import true_cardinality
+from .predicate import LabeledWorkload, Predicate, Query
+
+_FILTER_OPS = ("=", "<", "<=", ">", ">=")
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for the Section 5.1.2 generator."""
+
+    num_filters_min: int = 5
+    num_filters_max: int | None = None  # default: all columns
+    bounded_volume: float = 0.01        # target fraction of distinct values
+    center_range: tuple[float, float] = (0.0, 1.0)  # relative center window
+    require_nonempty: bool = True
+    max_attempts: int = 200
+    operators: tuple[str, ...] = _FILTER_OPS  # add "!=", "IN" if desired
+    in_list_size: int = 3               # literals per generated IN clause
+
+
+def default_bounded_column(table: Table) -> str:
+    """The paper bounds "an attribute with a relatively large domain"."""
+    sizes = table.domain_sizes
+    return table.columns[int(np.argmax(sizes))].name
+
+
+def _random_filters(table: Table, rng: np.random.Generator,
+                    cfg: WorkloadConfig,
+                    exclude: str | None = None) -> list[Predicate]:
+    names = [n for n in table.column_names if n != exclude]
+    hi = cfg.num_filters_max or min(len(names), 11)
+    hi = min(hi, len(names))
+    lo = min(cfg.num_filters_min, hi)
+    nf = int(rng.integers(lo, hi + 1))
+    chosen = rng.choice(len(names), size=nf, replace=False)
+    anchor_row = table.codes[rng.integers(0, table.num_rows)]
+    preds: list[Predicate] = []
+    for k in chosen:
+        name = names[k]
+        idx = table.column_index(name)
+        col = table.columns[idx]
+        literal = col.values[anchor_row[idx]]
+        op = str(rng.choice(cfg.operators))
+        if col.size <= 2 and op not in ("=", "!="):
+            op = "="  # range ops on binary domains degenerate
+        if op == "IN":
+            extra = min(cfg.in_list_size - 1, col.size - 1)
+            others = col.values[rng.choice(col.size, size=extra,
+                                           replace=False)]
+            values = {literal.item() if hasattr(literal, "item") else literal}
+            values.update(v.item() if hasattr(v, "item") else v
+                          for v in others)
+            preds.append(Predicate(name, "IN", tuple(sorted(values))))
+        else:
+            preds.append(Predicate(name, op, literal))
+    return preds
+
+
+def _bounded_predicates(table: Table, column: str, rng: np.random.Generator,
+                        cfg: WorkloadConfig) -> list[Predicate]:
+    col = table.column(column)
+    width = max(1, int(round(cfg.bounded_volume * col.size)))
+    lo_rel, hi_rel = cfg.center_range
+    center = int(rng.integers(int(lo_rel * (col.size - 1)),
+                              max(int(hi_rel * (col.size - 1)), 1) + 1))
+    lo_code = max(0, center - width // 2)
+    hi_code = min(col.size - 1, lo_code + width - 1)
+    return [Predicate(column, ">=", col.values[lo_code]),
+            Predicate(column, "<=", col.values[hi_code])]
+
+
+def generate_inworkload(table: Table, n: int, rng: np.random.Generator,
+                        bounded_column: str | None = None,
+                        cfg: WorkloadConfig | None = None) -> LabeledWorkload:
+    """In-workload queries: bounded attribute + random filters."""
+    cfg = cfg or WorkloadConfig()
+    bounded = bounded_column or default_bounded_column(table)
+    queries: list[Query] = []
+    cards: list[int] = []
+    attempts = 0
+    while len(queries) < n:
+        attempts += 1
+        preds = _bounded_predicates(table, bounded, rng, cfg)
+        preds += _random_filters(table, rng, cfg, exclude=bounded)
+        query = Query(tuple(preds))
+        card = true_cardinality(table, query)
+        if cfg.require_nonempty and card == 0:
+            if attempts > cfg.max_attempts * n:
+                raise RuntimeError("could not generate non-empty queries")
+            continue
+        queries.append(query)
+        cards.append(card)
+    return LabeledWorkload(queries, np.asarray(cards, dtype=np.float64))
+
+
+def generate_random(table: Table, n: int, rng: np.random.Generator,
+                    cfg: WorkloadConfig | None = None) -> LabeledWorkload:
+    """Random queries: every filter random, no bounded attribute."""
+    cfg = cfg or WorkloadConfig()
+    queries: list[Query] = []
+    cards: list[int] = []
+    attempts = 0
+    while len(queries) < n:
+        attempts += 1
+        query = Query(tuple(_random_filters(table, rng, cfg)))
+        card = true_cardinality(table, query)
+        if cfg.require_nonempty and card == 0:
+            if attempts > cfg.max_attempts * n:
+                raise RuntimeError("could not generate non-empty queries")
+            continue
+        queries.append(query)
+        cards.append(card)
+    return LabeledWorkload(queries, np.asarray(cards, dtype=np.float64))
+
+
+def generate_shifted_partitions(table: Table, n_parts: int, train_per_part: int,
+                                test_per_part: int, rng: np.random.Generator,
+                                bounded_column: str | None = None,
+                                bounded_volume: float = 0.01,
+                                ) -> list[tuple[LabeledWorkload, LabeledWorkload]]:
+    """Workload partitions with disjoint bounded-attribute center windows.
+
+    Reproduces the incremental-workload setup of Section 5.4: partition i's
+    queries focus on a different region of the bounded attribute.
+    ``bounded_volume`` narrows the windows (smaller -> harder, more
+    tail-focused partitions).
+    """
+    out = []
+    for part in range(n_parts):
+        lo = part / n_parts
+        hi = (part + 1) / n_parts
+        cfg = WorkloadConfig(center_range=(lo, hi),
+                             bounded_volume=bounded_volume)
+        train = generate_inworkload(table, train_per_part, rng,
+                                    bounded_column, cfg)
+        test = generate_inworkload(table, test_per_part, rng,
+                                   bounded_column, cfg)
+        out.append((train, test))
+    return out

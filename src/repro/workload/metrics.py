@@ -1,0 +1,63 @@
+"""Q-error (paper Eq. 6) and quantile summaries for result tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def qerror(estimate: float, truth: float, floor: float = 1.0) -> float:
+    """``max(1, truth/est, est/truth)`` with both sides floored at 1 row.
+
+    Flooring matches common practice (and the paper's single-table setup,
+    where generated queries are non-empty): an estimator that answers 0 for
+    a 1-row query gets the same error as answering 1.
+    """
+    est = max(float(estimate), floor)
+    tru = max(float(truth), floor)
+    return max(est / tru, tru / est, 1.0)
+
+
+def qerrors(estimates: np.ndarray, truths: np.ndarray,
+            floor: float = 1.0) -> np.ndarray:
+    """Vectorised q-errors (see :func:`qerror`)."""
+    est = np.maximum(np.asarray(estimates, dtype=np.float64), floor)
+    tru = np.maximum(np.asarray(truths, dtype=np.float64), floor)
+    return np.maximum.reduce([est / tru, tru / est,
+                              np.ones_like(est)])
+
+
+@dataclass
+class ErrorSummary:
+    """The four quantities every results table in the paper reports."""
+
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_errors(cls, errors: np.ndarray) -> "ErrorSummary":
+        errors = np.asarray(errors, dtype=np.float64)
+        if errors.size == 0:
+            raise ValueError("no errors to summarise")
+        return cls(mean=float(errors.mean()),
+                   median=float(np.median(errors)),
+                   p95=float(np.percentile(errors, 95)),
+                   maximum=float(errors.max()),
+                   count=int(errors.size))
+
+    def row(self) -> dict[str, float]:
+        return {"mean": self.mean, "median": self.median,
+                "95th": self.p95, "max": self.maximum}
+
+    def __str__(self) -> str:
+        return (f"mean={self.mean:.3g} median={self.median:.3g} "
+                f"95th={self.p95:.3g} max={self.maximum:.3g}")
+
+
+def summarize(estimates: np.ndarray, truths: np.ndarray) -> ErrorSummary:
+    """Quantile summary of the q-errors of a batch of estimates."""
+    return ErrorSummary.from_errors(qerrors(estimates, truths))

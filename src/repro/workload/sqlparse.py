@@ -1,0 +1,187 @@
+"""A small SQL-predicate parser for the estimator API.
+
+Lets users write queries the way they appear in logs instead of building
+:class:`Predicate` objects by hand::
+
+    parse_query("SELECT COUNT(*) FROM dmv WHERE county <= 100 AND "
+                "color_code = 'BK'")
+
+Supported grammar (the fragment the paper's estimator answers):
+
+* comparison predicates with ``=, !=, <>, <, <=, >, >=``;
+* ``IN (v1, v2, ...)`` and ``BETWEEN lo AND hi``;
+* ``AND`` / ``OR`` with parentheses — formulas containing ``OR`` are
+  converted to DNF and returned as :class:`~repro.workload.dnf.DNFQuery`
+  (answered via inclusion-exclusion).
+
+Literals: integers, floats, and single-quoted strings.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .dnf import DNFQuery
+from .predicate import Predicate, Query
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+\.?\d*)
+      | (?P<op><=|>=|<>|!=|=|<|>)
+      | (?P<lparen>\()
+      | (?P<rparen>\))
+      | (?P<comma>,)
+      | (?P<word>[A-Za-z_][A-Za-z_0-9.]*)
+    )""", re.VERBOSE)
+
+_KEYWORDS = {"AND", "OR", "IN", "BETWEEN", "NOT", "WHERE", "SELECT", "FROM",
+             "COUNT"}
+
+
+class SQLParseError(ValueError):
+    pass
+
+
+def tokenize(text: str) -> list[tuple[str, str]]:
+    """Lex a predicate fragment into (kind, value) tokens."""
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise SQLParseError(f"cannot tokenize near: {remainder[:25]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "word" and value.upper() in _KEYWORDS:
+            tokens.append(("keyword", value.upper()))
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+def _literal(kind: str, value: str):
+    if kind == "string":
+        return value[1:-1].replace("''", "'")
+    if kind == "number":
+        return float(value) if "." in value else int(value)
+    raise SQLParseError(f"expected a literal, got {value!r}")
+
+
+class _Parser:
+    """Recursive descent over the token list; yields DNF (list of
+    conjunctions, each a list of predicates)."""
+
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise SQLParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: str | None = None) -> tuple[str, str]:
+        tok = self.next()
+        if tok[0] != kind or (value is not None and tok[1] != value):
+            raise SQLParseError(f"expected {value or kind}, got {tok[1]!r}")
+        return tok
+
+    # dnf := conj (OR conj)*
+    def parse_or(self) -> list[list[Predicate]]:
+        terms = [self.parse_and()]
+        while self.peek() == ("keyword", "OR"):
+            self.next()
+            terms.append(self.parse_and())
+        out: list[list[Predicate]] = []
+        for term in terms:
+            out.extend(term)
+        return out
+
+    # conj := atom (AND atom)* ; result is itself a DNF (atoms may nest ORs)
+    def parse_and(self) -> list[list[Predicate]]:
+        result = self.parse_atom()
+        while self.peek() == ("keyword", "AND"):
+            self.next()
+            right = self.parse_atom()
+            result = [a + b for a in result for b in right]  # distribute
+        return result
+
+    def parse_atom(self) -> list[list[Predicate]]:
+        tok = self.peek()
+        if tok == ("lparen", "("):
+            self.next()
+            inner = self.parse_or()
+            self.expect("rparen")
+            return inner
+        return [self.parse_predicate()]
+
+    def parse_predicate(self) -> list[Predicate]:
+        """One source-level predicate; BETWEEN expands to two."""
+        kind, column = self.next()
+        if kind != "word":
+            raise SQLParseError(f"expected a column name, got {column!r}")
+        tok = self.next()
+        if tok == ("keyword", "IN"):
+            self.expect("lparen")
+            values = []
+            while True:
+                k, v = self.next()
+                values.append(_literal(k, v))
+                nxt = self.next()
+                if nxt == ("rparen", ")"):
+                    break
+                if nxt != ("comma", ","):
+                    raise SQLParseError(f"expected ',' in IN list, "
+                                        f"got {nxt[1]!r}")
+            return [Predicate(column, "IN", tuple(values))]
+        if tok == ("keyword", "BETWEEN"):
+            k1, v1 = self.next()
+            self.expect("keyword", "AND")
+            k2, v2 = self.next()
+            lo, hi = _literal(k1, v1), _literal(k2, v2)
+            return [Predicate(column, ">=", lo), Predicate(column, "<=", hi)]
+        if tok[0] == "op":
+            op = "!=" if tok[1] == "<>" else tok[1]
+            k, v = self.next()
+            return [Predicate(column, op, _literal(k, v))]
+        raise SQLParseError(f"expected an operator after {column!r}, "
+                            f"got {tok[1]!r}")
+
+
+def parse_predicates(text: str) -> Query | DNFQuery:
+    """Parse a WHERE-clause fragment into a Query (or DNFQuery if it
+    contains OR)."""
+    tokens = tokenize(text)
+    if not tokens:
+        return Query(())
+    parser = _Parser(tokens)
+    dnf = parser.parse_or()
+    if parser.peek() is not None:
+        raise SQLParseError(f"trailing tokens near {parser.peek()[1]!r}")
+    if len(dnf) == 1:
+        return Query(tuple(dnf[0]))
+    return DNFQuery([Query(tuple(conj)) for conj in dnf])
+
+
+_WHERE_RE = re.compile(r"\bWHERE\b", re.IGNORECASE)
+
+
+def parse_query(sql: str) -> Query | DNFQuery:
+    """Parse ``SELECT COUNT(*) FROM t WHERE <predicates>`` (or a bare
+    predicate fragment)."""
+    parts = _WHERE_RE.split(sql, maxsplit=1)
+    if len(parts) == 2:
+        return parse_predicates(parts[1])
+    if re.match(r"\s*SELECT\b", sql, re.IGNORECASE):
+        return Query(())  # no WHERE clause: the full table
+    return parse_predicates(sql)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Table, make_toy
+from repro.workload import generate_inworkload, generate_random
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def toy_table() -> Table:
+    return make_toy(rows=1500, seed=7, num_cols=4, max_domain=10)
+
+
+@pytest.fixture(scope="session")
+def toy_workloads(toy_table):
+    gen = np.random.default_rng(42)
+    train = generate_inworkload(toy_table, 60, gen)
+    test_in = generate_inworkload(toy_table, 25, gen)
+    test_rand = generate_random(toy_table, 25, gen)
+    return {"train": train, "test_in": test_in, "test_rand": test_rand}
+
+
+@pytest.fixture(scope="session")
+def tiny_table() -> Table:
+    """3 columns, tiny domains — small enough for exact enumeration."""
+    gen = np.random.default_rng(3)
+    n = 800
+    a = gen.choice(4, p=[0.5, 0.25, 0.15, 0.1], size=n)
+    b = (a + gen.choice(3, p=[0.6, 0.3, 0.1], size=n)) % 5
+    c = gen.choice(3, p=[0.7, 0.2, 0.1], size=n)
+    return Table.from_raw("tiny", {"a": a, "b": b, "c": c})
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        out[i] = (hi - lo) / (2 * eps)
+    return grad

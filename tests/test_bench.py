@@ -1,0 +1,110 @@
+"""Tests for profiles, reporting, and the experiment registry."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import (BENCH, EXPERIMENTS, PAPER, PROFILES, SMALL,
+                         current_profile, format_table, save_json)
+from repro.bench.experiments import SINGLE_TABLE_COLUMNS, single_table_setup
+
+
+class TestProfiles:
+    def test_registry_complete(self):
+        assert set(PROFILES) == {"small", "bench", "paper"}
+
+    def test_scaling_order(self):
+        assert SMALL.train_queries < BENCH.train_queries < PAPER.train_queries
+        assert SMALL.dataset_rows("dmv") < PAPER.dataset_rows("dmv")
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "small")
+        assert current_profile() is SMALL
+        monkeypatch.setenv("REPRO_PROFILE", "bogus")
+        with pytest.raises(KeyError):
+            current_profile()
+
+    def test_default_rows(self):
+        assert SMALL.dataset_rows("unknown") == 8000
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"model": "UAE", "mean": 1.2345678},
+                {"model": "Naru", "mean": 100000.0}]
+        text = format_table(rows, ["model", "mean"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "UAE" in text and "1.235" in text
+        assert "1.00e+05" in text
+
+    def test_format_handles_missing_cells(self):
+        text = format_table([{"a": 1.0}], ["a", "b"])
+        assert "a" in text and "b" in text
+
+    def test_save_json_roundtrip(self, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        path = save_json("unit", {"values": np.array([1.0, 2.0]),
+                                  "n": np.int64(3)})
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["experiment"] == "unit"
+        assert payload["data"]["values"] == [1.0, 2.0]
+        assert payload["data"]["n"] == 3
+
+
+class TestExperimentRegistry:
+    def test_all_paper_artifacts_present(self):
+        required = {"table2", "table3", "table4", "table5", "table6",
+                    "fig3", "fig4a", "fig4b", "fig5_curve", "fig5_latency",
+                    "fig6", "tau"}
+        assert required <= set(EXPERIMENTS)
+
+    def test_ablation_experiments_present(self):
+        ablations = {k for k in EXPERIMENTS if k.startswith("ablation_")}
+        assert len(ablations) >= 5
+
+    def test_single_table_setup_shapes(self):
+        setup = single_table_setup("toy", SMALL)
+        assert setup["table"].num_rows == SMALL.dataset_rows("toy")
+        assert len(setup["train"]) == SMALL.train_queries
+        assert len(setup["test_in"]) == SMALL.test_queries
+
+    def test_columns_layout(self):
+        assert SINGLE_TABLE_COLUMNS[0] == "model"
+        assert "in_max" in SINGLE_TABLE_COLUMNS
+        assert "rand_max" in SINGLE_TABLE_COLUMNS
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig6" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["not-an-experiment"]) == 2
+
+    def test_selectivity_distribution_runs(self, tmp_path, monkeypatch):
+        """fig3 is the cheapest full experiment — run it at small scale."""
+        import repro.bench.reporting as reporting
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        from repro.bench.experiments import selectivity_distribution
+        result = selectivity_distribution(SMALL)
+        assert len(result["rows"]) == 6  # 3 datasets x 2 workloads
+        for row in result["rows"]:
+            assert row["log10_min"] <= row["log10_median"] <= row["log10_max"]
+        # Random workloads span at least as wide as in-workload ones (the
+        # paper's Figure 3 observation) on at least one dataset.
+        spans = {}
+        for row in result["rows"]:
+            spans[(row["dataset"], row["workload"])] = \
+                row["log10_max"] - row["log10_min"]
+        wider = [spans[(d, "random")] >= spans[(d, "in-workload")] * 0.5
+                 for d in ("dmv", "census", "kddcup")]
+        assert any(wider)

@@ -1,0 +1,54 @@
+"""Smoke-runs of the cheap experiment harnesses at SMALL scale.
+
+The expensive experiments (tables 2-5, figures 4-6) are exercised by
+``pytest benchmarks/``; here we run the fast ones end-to-end so the
+experiment plumbing stays covered by the unit suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import SMALL
+from repro.bench.experiments import (ablation_column_order,
+                                     capability_matrix, run_incremental_data,
+                                     run_single_table, single_table_setup)
+
+pytestmark = pytest.mark.slow
+
+
+class TestExperimentPlumbing:
+    def test_capability_matrix_no_profile_needed(self):
+        result = capability_matrix(None)
+        assert len(result["rows"]) == 13
+
+    def test_single_table_with_estimator_filter(self):
+        """The estimator filter lets callers run a subset cheaply."""
+        result = run_single_table("toy", SMALL,
+                                  estimators=["UAE", "Sampling"])
+        models = [r["model"] for r in result["rows"]]
+        assert models == ["Sampling", "UAE"]
+        for row in result["rows"]:
+            assert np.isfinite(row["in_mean"])
+
+    def test_incremental_data_shape(self):
+        result = run_incremental_data(SMALL)
+        assert len(result["rows"]) == 2
+        assert all(np.isfinite(r["mean"]) for r in result["rows"])
+
+    def test_ablation_order_shape(self):
+        result = ablation_column_order(SMALL)
+        assert {r["order"] for r in result["rows"]} == {"natural", "random"}
+
+    def test_setup_uses_profile_rows(self):
+        setup = single_table_setup("toy", SMALL)
+        assert setup["table"].num_rows == SMALL.dataset_rows("toy")
+
+    def test_cli_runs_experiment(self, tmp_path, monkeypatch, capsys):
+        import repro.bench.reporting as reporting
+        monkeypatch.setattr(reporting, "RESULTS_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_PROFILE", "small")
+        from repro.bench.__main__ import main
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "capability matrix" in out
+        assert (tmp_path / "table1.json").exists()

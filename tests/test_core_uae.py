@@ -1,0 +1,188 @@
+"""Tests for the UAE estimator: training modes, incremental ingestion,
+estimation API, configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core import UAE, UAEConfig
+from repro.estimators import Naru
+from repro.workload import (LabeledWorkload, Predicate, Query,
+                            generate_inworkload, qerrors, summarize,
+                            true_cardinality)
+
+FAST = dict(hidden=24, num_blocks=1, est_samples=64, dps_samples=4,
+            batch_size=128, query_batch_size=8, seed=0)
+
+
+class TestConfig:
+    def test_overrides(self, toy_table):
+        uae = UAE(toy_table, hidden=16, lam=0.5)
+        assert uae.config.hidden == 16
+        assert uae.config.lam == 0.5
+
+    def test_explicit_config_object(self, toy_table):
+        cfg = UAEConfig(hidden=16, num_blocks=1)
+        uae = UAE(toy_table, cfg)
+        assert uae.config.hidden == 16
+
+    def test_bad_mode_rejected(self, toy_table):
+        uae = UAE(toy_table, **FAST)
+        with pytest.raises(ValueError):
+            uae.fit(epochs=1, mode="bogus")
+
+    def test_query_mode_requires_workload(self, toy_table):
+        uae = UAE(toy_table, **FAST)
+        with pytest.raises(ValueError):
+            uae.fit(epochs=1, mode="query")
+
+    def test_bad_discrepancy(self, toy_table, toy_workloads):
+        uae = UAE(toy_table, **FAST, discrepancy="nope")
+        with pytest.raises(ValueError):
+            uae.fit(epochs=1, workload=toy_workloads["train"], mode="query")
+
+
+class TestDataTraining:
+    def test_loglikelihood_improves(self, toy_table):
+        uae = UAE(toy_table, **FAST)
+        before = uae.loglikelihood(toy_table.codes[:400])
+        uae.fit(epochs=3, mode="data")
+        after = uae.loglikelihood(toy_table.codes[:400])
+        assert after > before
+
+    def test_history_records_epochs(self, toy_table):
+        uae = UAE(toy_table, **FAST)
+        uae.fit(epochs=2, mode="data")
+        assert len(uae.history) == 2
+        assert uae.history[0]["mode"] == "data"
+
+    def test_on_epoch_end_callback(self, toy_table):
+        seen = []
+        uae = UAE(toy_table, **FAST)
+        uae.fit(epochs=2, mode="data",
+                on_epoch_end=lambda e, m: seen.append(e))
+        assert seen == [0, 1]
+
+    def test_estimates_beat_random_guessing(self, toy_table, toy_workloads):
+        uae = UAE(toy_table, **FAST)
+        uae.fit(epochs=4, mode="data")
+        test = toy_workloads["test_in"]
+        est = uae.estimate_many(test.queries)
+        errs = qerrors(est, test.cardinalities)
+        # A constant-guess estimator (always half the table) for reference.
+        naive = np.full(len(test), toy_table.num_rows / 2)
+        naive_errs = qerrors(naive, test.cardinalities)
+        assert np.median(errs) < np.median(naive_errs)
+
+
+class TestHybridAndQueryTraining:
+    def test_hybrid_runs_and_tracks_both_losses(self, toy_table,
+                                                toy_workloads):
+        uae = UAE(toy_table, **FAST)
+        uae.fit(epochs=2, workload=toy_workloads["train"], mode="hybrid")
+        record = uae.history[-1]
+        assert record["data_loss"] > 0
+        assert record["query_loss"] > 0
+
+    def test_query_only_learns_workload(self, toy_table, toy_workloads):
+        uae = UAE(toy_table, **FAST)
+        train = toy_workloads["train"]
+        uae.fit(epochs=6, workload=train, mode="query")
+        est = uae.estimate_many(train.queries[:20])
+        errs = qerrors(est, train.cardinalities[:20])
+        assert np.median(errs) < 8.0
+
+    def test_reinforce_mode_runs(self, toy_table, toy_workloads):
+        uae = UAE(toy_table, **FAST, gradient_estimator="reinforce")
+        uae.fit(epochs=1, workload=toy_workloads["train"], mode="query")
+        assert np.isfinite(uae.history[-1]["query_loss"])
+
+    def test_mse_discrepancy_runs(self, toy_table, toy_workloads):
+        uae = UAE(toy_table, **FAST, discrepancy="mse")
+        uae.fit(epochs=1, workload=toy_workloads["train"], mode="query")
+        assert np.isfinite(uae.history[-1]["query_loss"])
+
+
+class TestEstimation:
+    @pytest.fixture(scope="class")
+    def trained(self, toy_table):
+        uae = UAE(toy_table, **FAST)
+        uae.fit(epochs=4, mode="data")
+        return uae
+
+    def test_estimate_in_range(self, trained, toy_table, toy_workloads):
+        for query in toy_workloads["test_in"].queries[:5]:
+            card = trained.estimate(query)
+            assert 0.0 <= card <= toy_table.num_rows
+
+    def test_estimate_many_matches_single(self, trained, toy_workloads):
+        queries = toy_workloads["test_in"].queries[:4]
+        batched = trained.estimate_many(queries, batch_queries=4)
+        for i, query in enumerate(queries):
+            solo = trained.estimate(query)
+            # Same model, different sample draws: expect agreement.
+            assert batched[i] == pytest.approx(solo, rel=0.6, abs=30)
+
+    def test_empty_query_estimates_full_table(self, trained, toy_table):
+        card = trained.estimate(Query(()))
+        assert card == pytest.approx(toy_table.num_rows, rel=1e-3)
+
+    def test_uniform_estimator_path(self, trained, toy_table, toy_workloads):
+        query = toy_workloads["test_in"].queries[0]
+        card = trained.estimate_uniform(query, num_samples=500)
+        assert 0.0 <= card <= toy_table.num_rows
+
+    def test_size_bytes_positive(self, trained):
+        assert trained.size_bytes() > 1000
+
+
+class TestClone:
+    def test_clone_preserves_model(self, toy_table):
+        uae = UAE(toy_table, **FAST)
+        uae.fit(epochs=2, mode="data")
+        copy = uae.clone()
+        x = toy_table.codes[:50]
+        np.testing.assert_allclose(uae.model.nll_np(uae.fact.encode_rows(x)),
+                                   copy.model.nll_np(copy.fact.encode_rows(x)),
+                                   atol=1e-5)
+
+    def test_clone_is_independent(self, toy_table):
+        uae = UAE(toy_table, **FAST)
+        copy = uae.clone()
+        copy.fit(epochs=1, mode="data")
+        x = uae.fact.encode_rows(toy_table.codes[:20])
+        assert not np.allclose(uae.model.nll_np(x), copy.model.nll_np(x))
+
+
+class TestIncremental:
+    def test_ingest_data_improves_new_region(self, toy_table):
+        uae = UAE(toy_table, **FAST)
+        uae.fit(epochs=2, mode="data")
+        # New tuples concentrated on a single value pattern.
+        new = np.tile(toy_table.codes[:1], (300, 1))
+        before = uae.loglikelihood(new[:50])
+        uae.ingest_data(new, epochs=2)
+        after = uae.loglikelihood(new[:50])
+        assert after > before
+        assert uae.table.num_rows == toy_table.num_rows + 300
+
+    def test_ingest_queries_adapts(self, toy_table):
+        """Section 4.5: refining on a shifted workload improves it."""
+        rng = np.random.default_rng(77)
+        from repro.workload import WorkloadConfig
+        shifted_cfg = WorkloadConfig(center_range=(0.75, 1.0))
+        shifted = generate_inworkload(toy_table, 40, rng, cfg=shifted_cfg)
+        uae = UAE(toy_table, **FAST)
+        uae.fit(epochs=2, mode="data")
+        before = summarize(uae.estimate_many(shifted.queries),
+                           shifted.cardinalities)
+        uae.ingest_queries(shifted, epochs=6)
+        after = summarize(uae.estimate_many(shifted.queries),
+                          shifted.cardinalities)
+        assert after.mean <= before.mean * 1.5  # never catastrophically worse
+
+    def test_naru_equivalence_statement(self, toy_table):
+        """Naru is UAE-D: same architecture, data-only training."""
+        naru = Naru(toy_table, **FAST)
+        assert isinstance(naru, UAE)
+        with pytest.raises(ValueError):
+            naru.fit(epochs=1, mode="hybrid")

@@ -1,0 +1,109 @@
+"""Tests for dictionary-encoded columns and predicate masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Column
+
+
+class TestCodeBijection:
+    def test_codes_follow_sorted_order(self):
+        col = Column("x", np.array([30, 10, 20, 10]))
+        assert col.size == 3
+        np.testing.assert_array_equal(col.codes_of(np.array([10, 20, 30])),
+                                      [0, 1, 2])
+
+    def test_string_domain_sorted_lexicographically(self):
+        """The paper's example: James -> 0, Paul -> 1, Tim -> 2."""
+        col = Column("name", np.array(["James", "Tim", "Paul"]))
+        assert col.code_of("James") == 0
+        assert col.code_of("Paul") == 1
+        assert col.code_of("Tim") == 2
+
+    def test_decode_inverts_encode(self):
+        values = np.array([5, 1, 9, 1, 5])
+        col = Column("x", values)
+        codes = col.codes_of(values)
+        np.testing.assert_array_equal(col.decode(codes), values)
+
+    def test_unknown_value_raises(self):
+        col = Column("x", np.array([1, 2, 3]))
+        with pytest.raises(KeyError):
+            col.codes_of(np.array([7]))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Column("x", np.array([]))
+
+
+class TestCodeRanges:
+    @pytest.fixture
+    def col(self):
+        return Column("x", np.array([10, 20, 30, 40]))
+
+    def test_less_than(self, col):
+        assert col.code_range("<", 30) == (0, 2)
+
+    def test_less_equal(self, col):
+        assert col.code_range("<=", 30) == (0, 3)
+
+    def test_greater_than(self, col):
+        assert col.code_range(">", 20) == (2, 4)
+
+    def test_greater_equal(self, col):
+        assert col.code_range(">=", 20) == (1, 4)
+
+    def test_equality(self, col):
+        assert col.code_range("=", 20) == (1, 2)
+
+    def test_equality_missing_value_is_empty(self, col):
+        lo, hi = col.code_range("=", 25)
+        assert lo == hi
+
+    def test_range_with_offdomain_literal(self, col):
+        assert col.code_range("<", 25) == (0, 2)
+        assert col.code_range(">=", 25) == (2, 4)
+
+    def test_unsupported_op(self, col):
+        with pytest.raises(ValueError):
+            col.code_range("~", 5)
+
+
+class TestValidMasks:
+    def test_in_clause(self):
+        col = Column("x", np.array([1, 2, 3, 4]))
+        mask = col.valid_mask("IN", [2, 4])
+        np.testing.assert_array_equal(mask, [False, True, False, True])
+
+    def test_not_equal(self):
+        col = Column("x", np.array([1, 2, 3]))
+        mask = col.valid_mask("!=", 2)
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_not_equal_missing_value_keeps_all(self):
+        col = Column("x", np.array([1, 2, 3]))
+        assert col.valid_mask("!=", 99).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-50, 50), min_size=1, max_size=30),
+       st.sampled_from(["<", "<=", ">", ">=", "="]),
+       st.integers(-60, 60))
+def test_mask_matches_bruteforce(values, op, literal):
+    """The code mask must agree with evaluating the predicate per value."""
+    col = Column("x", np.array(values))
+    mask = col.valid_mask(op, literal)
+    ops = {"<": np.less, "<=": np.less_equal, ">": np.greater,
+           ">=": np.greater_equal, "=": np.equal}
+    expected = ops[op](col.values, literal)
+    np.testing.assert_array_equal(mask, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=40))
+def test_roundtrip_property(values):
+    arr = np.array(values)
+    col = Column("x", arr)
+    np.testing.assert_array_equal(col.decode(col.codes_of(arr)), arr)

@@ -1,0 +1,81 @@
+"""Tests for the synthetic dataset generators and their target statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data import (dataset_skewness, load, make_census, make_dmv,
+                        make_kddcup, make_toy, ncie)
+
+
+class TestShapes:
+    def test_dmv_schema(self):
+        table = make_dmv(rows=3000)
+        assert table.num_rows == 3000
+        assert table.num_cols == 11
+        sizes = sorted(table.domain_sizes)
+        assert sizes[0] == 2            # binary flags exist
+        assert sizes[-1] > 1000         # a very large domain exists
+
+    def test_dmv_large_ndv_variant(self):
+        table = make_dmv(rows=1500, large_ndv=True)
+        assert table.num_cols == 13
+        vin = table.column("vin")
+        assert vin.size == 1500         # 100% unique
+
+    def test_census_schema(self):
+        table = make_census(rows=2000)
+        assert table.num_cols == 14
+        assert max(table.domain_sizes) <= 123
+
+    def test_kddcup_schema(self):
+        table = make_kddcup(rows=1500, num_cols=100)
+        assert table.num_cols == 100
+        assert max(table.domain_sizes) <= 43
+        assert min(table.domain_sizes) >= 2
+
+    def test_dmv_has_string_column(self):
+        table = make_dmv(rows=500)
+        assert table.raw_column("color_code").dtype.kind in ("U", "S")
+
+
+class TestStatisticalTargets:
+    """The generators must land in the paper's skew/correlation regimes."""
+
+    def test_dmv_more_skewed_than_census(self):
+        dmv = make_dmv(rows=6000)
+        census = make_census(rows=6000)
+        assert dataset_skewness(dmv.codes) > dataset_skewness(census.codes)
+
+    def test_dmv_more_correlated_than_census(self):
+        dmv = make_dmv(rows=6000)
+        census = make_census(rows=6000)
+        assert ncie(dmv.codes) > ncie(census.codes)
+
+    def test_kddcup_blocks_mostly_independent(self):
+        """Cross-block columns should be near-independent."""
+        table = make_kddcup(rows=4000, num_cols=20, block_size=5)
+        from repro.data.stats import _rank_grid_entropy
+        codes = table.codes
+        within = _rank_grid_entropy(codes[:, 0], codes[:, 1])
+        across = _rank_grid_entropy(codes[:, 0], codes[:, 10])
+        assert within > across
+
+    def test_determinism(self):
+        a = make_dmv(rows=1000, seed=3)
+        b = make_dmv(rows=1000, seed=3)
+        np.testing.assert_array_equal(a.codes, b.codes)
+
+    def test_seeds_differ(self):
+        a = make_toy(rows=500, seed=1)
+        b = make_toy(rows=500, seed=2)
+        assert not np.array_equal(a.codes, b.codes)
+
+
+class TestRegistry:
+    def test_load_by_name(self):
+        table = load("toy", rows=300)
+        assert table.num_rows == 300
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("nope")

@@ -1,0 +1,108 @@
+"""Tests for column factorization (large-NDV handling, Section 4.6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import ColumnFactorization, Table
+
+
+def make_table_with_domain(domain_size: int, rows: int = 200) -> Table:
+    rng = np.random.default_rng(0)
+    values = np.arange(domain_size)
+    data = rng.choice(values, size=rows)
+    # Ensure the full domain appears so Column sees every value.
+    data[:domain_size] = values[:min(domain_size, rows)]
+    if domain_size > rows:
+        data = values  # all distinct
+    return Table.from_raw("t", {"big": data,
+                                "small": np.arange(len(data)) % 5})
+
+
+class TestUnfactored:
+    def test_small_domains_pass_through(self):
+        table = make_table_with_domain(100)
+        fact = ColumnFactorization(table, threshold=2048)
+        assert not fact.any_factored
+        assert fact.model_domains == table.domain_sizes
+        np.testing.assert_array_equal(fact.encode_rows(table.codes),
+                                      table.codes)
+
+
+class TestFactored:
+    def test_splits_large_domain(self):
+        table = make_table_with_domain(3500)
+        fact = ColumnFactorization(table, threshold=2048, bits=6)
+        assert fact.any_factored
+        # big splits into hi/lo, small stays.
+        assert fact.num_model_cols == 3
+        assert fact.model_names[0].endswith("__hi")
+        assert fact.model_names[1].endswith("__lo")
+        assert fact.model_domains[1] == 64
+
+    def test_roundtrip(self):
+        table = make_table_with_domain(3500)
+        fact = ColumnFactorization(table, threshold=2048, bits=6)
+        model = fact.encode_rows(table.codes)
+        back = fact.decode_rows(model)
+        np.testing.assert_array_equal(back, table.codes)
+
+    def test_too_large_rejected(self):
+        table = make_table_with_domain(300)
+        with pytest.raises(ValueError):
+            ColumnFactorization(table, threshold=16, bits=2)  # 300 > 16^2
+
+
+class TestMaskExpansion:
+    def test_fixed_mask_passthrough(self):
+        table = make_table_with_domain(50)
+        fact = ColumnFactorization(table, threshold=2048)
+        mask = np.zeros(50, dtype=bool)
+        mask[:10] = True
+        out = fact.expand_masks({0: mask})
+        assert out[0][0] == "fixed"
+        np.testing.assert_array_equal(out[0][1], mask)
+        assert out[1] is None
+
+    def test_factored_mask_becomes_hi_lo(self):
+        table = make_table_with_domain(3500)
+        fact = ColumnFactorization(table, threshold=2048, bits=6)
+        base = 64
+        mask = np.zeros(3500, dtype=bool)
+        mask[100:200] = True  # spans hi digits 1..3
+        out = fact.expand_masks({0: mask})
+        kind_hi, hi_mask = out[0]
+        kind_lo, grid = out[1]
+        assert kind_hi == "fixed" and kind_lo == "lo"
+        expected_hi = np.zeros(fact.model_domains[0], dtype=bool)
+        expected_hi[100 // base:200 // base + 1] = True
+        np.testing.assert_array_equal(hi_mask, expected_hi)
+        # The lo grid, indexed by hi digit, must reproduce the exact mask.
+        for hi in range(fact.model_domains[0]):
+            for lo in range(base):
+                v = hi * base + lo
+                if v < 3500:
+                    assert grid[hi, lo] == mask[v]
+
+    def test_unconstrained_factored_column(self):
+        table = make_table_with_domain(3500)
+        fact = ColumnFactorization(table, threshold=2048, bits=6)
+        out = fact.expand_masks({})
+        assert out[0] is None and out[1] is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(100, 4000), st.integers(3, 8))
+def test_roundtrip_property(domain, bits):
+    rng = np.random.default_rng(domain)
+    codes = rng.integers(0, domain, size=50).astype(np.int32)
+    table = make_table_with_domain(domain)
+    try:
+        fact = ColumnFactorization(table, threshold=64, bits=bits)
+    except ValueError:
+        assert domain > (2 ** bits) ** 2  # only too-wide domains may fail
+        return
+    rows = np.column_stack([codes, np.zeros(50, dtype=np.int32)])
+    np.testing.assert_array_equal(fact.decode_rows(fact.encode_rows(rows)),
+                                  rows)

@@ -1,0 +1,101 @@
+"""Tests for CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table, make_toy, read_csv, write_csv
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "id,age,name,score\n"
+        "1,34,alice,1.5\n"
+        "2,28,bob,2.25\n"
+        "3,51,carol,0.75\n"
+        "4,28,dave,1.5\n")
+    return str(path)
+
+
+class TestReadCSV:
+    def test_basic_load(self, csv_file):
+        table = read_csv(csv_file)
+        assert table.name == "data"
+        assert table.num_rows == 4
+        assert table.column_names == ["id", "age", "name", "score"]
+
+    def test_type_inference(self, csv_file):
+        table = read_csv(csv_file)
+        assert table.column("age").values.dtype.kind == "i"
+        assert table.column("score").values.dtype.kind == "f"
+        assert table.column("name").values.dtype.kind in ("U", "S")
+
+    def test_column_subset(self, csv_file):
+        table = read_csv(csv_file, columns=["age", "name"])
+        assert table.column_names == ["age", "name"]
+
+    def test_missing_column_rejected(self, csv_file):
+        with pytest.raises(KeyError):
+            read_csv(csv_file, columns=["nope"])
+
+    def test_max_rows(self, csv_file):
+        table = read_csv(csv_file, max_rows=2)
+        assert table.num_rows == 2
+
+    def test_empty_fields_become_null(self, tmp_path):
+        path = tmp_path / "nulls.csv"
+        path.write_text("a,b\n1,x\n,y\n3,\n")
+        table = read_csv(str(path))
+        assert -1 in table.raw_column("a")
+        assert "" in table.raw_column("b")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(str(path))
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "hdr.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError):
+            read_csv(str(path))
+
+    def test_custom_name(self, csv_file):
+        assert read_csv(csv_file, name="mytable").name == "mytable"
+
+
+class TestRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        table = make_toy(rows=200, seed=3, num_cols=3)
+        path = str(tmp_path / "rt.csv")
+        write_csv(table, path)
+        back = read_csv(path, name=table.name)
+        assert back.num_rows == table.num_rows
+        assert back.column_names == table.column_names
+        np.testing.assert_array_equal(back.codes, table.codes)
+
+    def test_roundtrip_with_strings(self, tmp_path):
+        table = Table.from_raw("t", {
+            "x": np.array([1, 2, 3]),
+            "s": np.array(["aa", "bb", "aa"]),
+        })
+        path = str(tmp_path / "s.csv")
+        write_csv(table, path)
+        back = read_csv(path)
+        np.testing.assert_array_equal(back.raw_column("s"),
+                                      table.raw_column("s"))
+
+    def test_loaded_table_feeds_uae(self, tmp_path):
+        """The adoption path: CSV -> Table -> UAE end to end."""
+        from repro.core import UAE
+        table = make_toy(rows=400, seed=9, num_cols=3)
+        path = str(tmp_path / "uae.csv")
+        write_csv(table, path)
+        loaded = read_csv(path)
+        model = UAE(loaded, hidden=16, num_blocks=1, est_samples=16,
+                    batch_size=128, seed=0)
+        model.fit(epochs=1, mode="data")
+        from repro.workload import Query
+        assert 0 <= model.estimate(Query(())) <= loaded.num_rows

@@ -1,0 +1,69 @@
+"""Tests for the skewness and NCIE statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.stats import (dataset_skewness, fisher_pearson_skewness,
+                              ncie, _rank_grid_entropy)
+
+
+class TestSkewness:
+    def test_symmetric_is_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(50_000)
+        assert abs(fisher_pearson_skewness(x)) < 0.05
+
+    def test_exponential_is_near_two(self):
+        rng = np.random.default_rng(1)
+        x = rng.exponential(size=100_000)
+        assert fisher_pearson_skewness(x) == pytest.approx(2.0, abs=0.15)
+
+    def test_constant_is_zero(self):
+        assert fisher_pearson_skewness(np.full(10, 3.0)) == 0.0
+
+    def test_dataset_skewness_averages_columns(self):
+        rng = np.random.default_rng(2)
+        flat = rng.integers(0, 10, size=(5000, 1))
+        skewed = rng.geometric(0.5, size=(5000, 1)) - 1
+        combined = np.hstack([flat, skewed])
+        assert dataset_skewness(combined) > dataset_skewness(flat)
+
+
+class TestNCIE:
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 20, size=(8000, 4))
+        assert ncie(codes) < 0.05
+
+    def test_perfectly_correlated_high(self):
+        rng = np.random.default_rng(4)
+        base = rng.integers(0, 20, size=8000)
+        codes = np.stack([base, base, base], axis=1)
+        assert ncie(codes) > 0.5
+
+    def test_monotonic_in_correlation(self):
+        rng = np.random.default_rng(5)
+        base = rng.integers(0, 30, size=6000)
+        noisy = np.where(rng.random(6000) < 0.5, base,
+                         rng.integers(0, 30, size=6000))
+        very_noisy = np.where(rng.random(6000) < 0.1, base,
+                              rng.integers(0, 30, size=6000))
+        strong = ncie(np.stack([base, noisy], axis=1))
+        weak = ncie(np.stack([base, very_noisy], axis=1))
+        assert strong > weak
+
+    def test_pairwise_detects_nonlinear(self):
+        """Rank-grid coefficient catches non-monotone dependence."""
+        rng = np.random.default_rng(6)
+        x = rng.uniform(-1, 1, 8000)
+        y = x ** 2 + rng.normal(0, 0.01, 8000)  # nonlinear, ~zero Pearson
+        dep = _rank_grid_entropy(x, y)
+        indep = _rank_grid_entropy(x, rng.uniform(-1, 1, 8000))
+        assert dep > indep + 0.05
+
+    def test_sampled_pairs_path(self):
+        """With many columns the pair-sampled approximation still works."""
+        rng = np.random.default_rng(7)
+        codes = rng.integers(0, 5, size=(2000, 30))
+        value = ncie(codes, max_pairs=20)
+        assert 0.0 <= value <= 1.0

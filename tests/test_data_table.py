@@ -1,0 +1,79 @@
+"""Tests for the Table abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_raw("t", {
+        "a": np.array([1, 2, 3, 2, 1]),
+        "b": np.array(["x", "y", "x", "z", "y"]),
+    })
+
+
+class TestConstruction:
+    def test_from_raw_shapes(self, table):
+        assert table.num_rows == 5
+        assert table.num_cols == 2
+        assert table.domain_sizes == [3, 3]
+        assert table.column_names == ["a", "b"]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table.from_raw("t", {"a": np.array([1, 2]),
+                                 "b": np.array([1])})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Table.from_raw("t", {})
+
+    def test_codes_out_of_domain_rejected(self):
+        cols = Table.from_raw("t", {"a": np.array([1, 2])}).columns
+        with pytest.raises(ValueError):
+            Table("t", cols, np.array([[5]], dtype=np.int32))
+
+    def test_codes_shape_validated(self):
+        cols = Table.from_raw("t", {"a": np.array([1, 2])}).columns
+        with pytest.raises(ValueError):
+            Table("t", cols, np.zeros((3, 2), dtype=np.int32))
+
+
+class TestAccess:
+    def test_column_index_and_lookup(self, table):
+        assert table.column_index("b") == 1
+        assert table.column("b").size == 3
+        with pytest.raises(KeyError):
+            table.column_index("missing")
+
+    def test_raw_column_roundtrip(self, table):
+        np.testing.assert_array_equal(table.raw_column("a"),
+                                      [1, 2, 3, 2, 1])
+        np.testing.assert_array_equal(table.raw_column("b"),
+                                      ["x", "y", "x", "z", "y"])
+
+    def test_project(self, table):
+        proj = table.project(["b"])
+        assert proj.num_cols == 1
+        np.testing.assert_array_equal(proj.raw_column("b"),
+                                      table.raw_column("b"))
+
+    def test_repr(self, table):
+        assert "rows=5" in repr(table)
+
+
+class TestMutation:
+    def test_append_rows(self, table):
+        bigger = table.append_rows(np.array([[0, 0], [2, 2]]))
+        assert bigger.num_rows == 7
+        assert table.num_rows == 5  # original untouched
+
+    def test_sample_rows_in_range(self, table):
+        rng = np.random.default_rng(0)
+        sample = table.sample_rows(100, rng)
+        assert sample.shape == (100, 2)
+        assert sample.min() >= 0
+        for j, col in enumerate(table.columns):
+            assert sample[:, j].max() < col.size

@@ -1,0 +1,140 @@
+"""Tests for Sampling, Histogram/Postgres1D, and LR estimators."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.estimators import (IndependenceHistogramEstimator,
+                              LinearRegressionEstimator, SamplingEstimator,
+                              describe_size, range_features)
+from repro.estimators.histogram import Histogram1D
+from repro.workload import (LabeledWorkload, Predicate, Query,
+                            generate_inworkload, qerrors, true_cardinality)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    return Table.from_raw("t", {
+        "a": rng.integers(0, 20, 3000),
+        "b": rng.geometric(0.3, 3000).clip(1, 15),
+        "c": rng.integers(0, 8, 3000),
+    })
+
+
+@pytest.fixture(scope="module")
+def workload(table):
+    rng = np.random.default_rng(1)
+    from repro.workload import WorkloadConfig
+    return generate_inworkload(table, 60, rng,
+                               cfg=WorkloadConfig(num_filters_min=1))
+
+
+class TestSampling:
+    def test_full_sample_is_exact(self, table, workload):
+        est = SamplingEstimator(table, fraction=1.0)
+        for q, card in zip(workload.queries[:10],
+                           workload.cardinalities[:10]):
+            assert est.estimate(q) == pytest.approx(card, abs=1e-6)
+
+    def test_partial_sample_near_truth(self, table, workload):
+        est = SamplingEstimator(table, fraction=0.3, seed=0)
+        errs = qerrors(est.estimate_many(workload.queries),
+                       workload.cardinalities)
+        assert np.median(errs) < 2.0
+
+    def test_budget_sizing(self, table):
+        est = SamplingEstimator(table, budget_bytes=4 * table.num_cols * 100)
+        assert len(est.sample) == 100
+        assert est.size_bytes() == 4 * table.num_cols * 100
+
+    def test_requires_a_budget(self, table):
+        with pytest.raises(ValueError):
+            SamplingEstimator(table)
+
+
+class TestHistogram1D:
+    def test_full_range_selectivity_is_one(self):
+        rng = np.random.default_rng(2)
+        codes = rng.integers(0, 50, 2000)
+        hist = Histogram1D(codes, 50, bins=16)
+        assert hist.selectivity_range(0, 49) == pytest.approx(1.0, abs=1e-9)
+
+    def test_point_lookup_on_uniform(self):
+        codes = np.repeat(np.arange(10), 100)
+        hist = Histogram1D(codes, 10, bins=10)
+        mask = np.zeros(10, dtype=bool)
+        mask[3] = True
+        assert hist.selectivity_mask(mask) == pytest.approx(0.1, abs=0.02)
+
+    def test_range_matches_truth_on_uniform(self):
+        codes = np.repeat(np.arange(20), 50)
+        hist = Histogram1D(codes, 20, bins=8)
+        assert hist.selectivity_range(5, 9) == pytest.approx(0.25, abs=0.03)
+
+    def test_skewed_heavy_value_gets_own_bucket(self):
+        codes = np.concatenate([np.zeros(900, dtype=np.int64),
+                                np.arange(1, 101)])
+        hist = Histogram1D(codes, 101, bins=16)
+        mask = np.zeros(101, dtype=bool)
+        mask[0] = True
+        assert hist.selectivity_mask(mask) == pytest.approx(0.9, abs=0.05)
+
+    def test_empty_range(self):
+        hist = Histogram1D(np.arange(10), 10, bins=4)
+        assert hist.selectivity_range(7, 3) == 0.0
+
+
+class TestIndependenceHistograms:
+    def test_single_column_query_accurate(self, table, workload):
+        est = IndependenceHistogramEstimator(table, bins=64)
+        q = Query((Predicate("a", "<=", 9),))
+        truth = true_cardinality(table, q)
+        assert est.estimate(q) == pytest.approx(truth, rel=0.15)
+
+    def test_independence_error_on_correlated(self):
+        """AVI must misestimate perfectly correlated conjunctions."""
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 10, 4000)
+        t = Table.from_raw("corr", {"a": a, "b": a})  # b == a
+        est = IndependenceHistogramEstimator(t, bins=10)
+        q = Query((Predicate("a", "=", 3), Predicate("b", "=", 3)))
+        truth = true_cardinality(t, q)
+        # AVI predicts sel_a * sel_b ~ truth^2/N^2 — a big underestimate.
+        assert est.estimate(q) < truth * 0.6
+
+
+class TestLinearRegression:
+    def test_fits_training_workload(self, table, workload):
+        est = LinearRegressionEstimator(table).fit(workload)
+        errs = qerrors(est.estimate_many(workload.queries),
+                       workload.cardinalities)
+        assert np.median(errs) < 20.0
+
+    def test_requires_workload(self, table):
+        with pytest.raises(ValueError):
+            LinearRegressionEstimator(table).fit(None)
+
+    def test_estimate_before_fit_raises(self, table, workload):
+        est = LinearRegressionEstimator(table)
+        with pytest.raises(RuntimeError):
+            est.estimate(workload.queries[0])
+
+    def test_range_features_shape(self, table, workload):
+        feats = range_features(table, workload.queries[0])
+        assert feats.shape == (table.num_cols * 3,)
+        # Unqueried columns span [0, 1] with flag 0.
+        q = Query((Predicate("a", "=", 5),))
+        f = range_features(table, q)
+        assert f[3 * 1] == 0.0 and f[3 * 1 + 1] == 1.0 and f[3 * 1 + 2] == 0.0
+
+    def test_size_reported(self, table, workload):
+        est = LinearRegressionEstimator(table).fit(workload)
+        assert est.size_bytes() == (table.num_cols * 3 + 1) * 8
+
+
+class TestDescribeSize:
+    def test_units(self):
+        assert describe_size(100) == "100B"
+        assert describe_size(2048) == "2KB"
+        assert describe_size(3 * 1024 ** 2) == "3.0MB"

@@ -1,0 +1,93 @@
+"""Tests for the Chow-Liu Bayesian network estimator."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.estimators import BayesNetEstimator, chow_liu_tree
+from repro.workload import Predicate, Query, qerrors, true_cardinality
+
+
+def tree_structured_table(n=6000, seed=0):
+    """a -> b -> c chain, d independent."""
+    rng = np.random.default_rng(seed)
+    a = rng.choice(4, p=[0.4, 0.3, 0.2, 0.1], size=n)
+    b = (a + rng.choice(2, p=[0.8, 0.2], size=n)) % 4
+    c = (b + rng.choice(2, p=[0.7, 0.3], size=n)) % 4
+    d = rng.integers(0, 5, size=n)
+    return Table.from_raw("chain", {"a": a, "b": b, "c": c, "d": d})
+
+
+class TestStructureLearning:
+    def test_recovers_chain_edges(self):
+        table = tree_structured_table()
+        edges = chow_liu_tree(table.codes, table.domain_sizes)
+        undirected = {frozenset(e) for e in edges}
+        assert frozenset((0, 1)) in undirected  # a-b
+        assert frozenset((1, 2)) in undirected  # b-c
+
+    def test_single_column(self):
+        assert chow_liu_tree(np.zeros((10, 1), dtype=np.int64), [1]) == []
+
+    def test_tree_has_n_minus_one_edges(self):
+        table = tree_structured_table()
+        edges = chow_liu_tree(table.codes, table.domain_sizes)
+        assert len(edges) == table.num_cols - 1
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def estimator(self):
+        return BayesNetEstimator(tree_structured_table())
+
+    def test_unconstrained_query_is_full_table(self, estimator):
+        assert estimator.estimate(Query(())) == pytest.approx(
+            estimator.table.num_rows, rel=1e-6)
+
+    def test_point_queries_accurate(self, estimator):
+        table = estimator.table
+        q = Query((Predicate("a", "=", 1), Predicate("b", "=", 1)))
+        truth = true_cardinality(table, q)
+        assert estimator.estimate(q) == pytest.approx(truth, rel=0.2)
+
+    def test_range_plus_equality(self, estimator):
+        table = estimator.table
+        q = Query((Predicate("a", "<=", 1), Predicate("c", ">=", 2)))
+        truth = true_cardinality(table, q)
+        assert estimator.estimate(q) == pytest.approx(truth, rel=0.25)
+
+    def test_brute_force_match_on_tiny_table(self):
+        """Exact check: BN probability of a region == sum over its own
+        factored joint."""
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, 500)
+        b = (a + rng.integers(0, 2, 500)) % 3
+        table = Table.from_raw("tiny", {"a": a, "b": b})
+        est = BayesNetEstimator(table, smoothing=0.0)
+        # P(a=i, b=j) from the BN = P(a=i) * P(b=j | a=i).
+        total = 0.0
+        for i in range(3):
+            q = Query((Predicate("a", "=", i), Predicate("b", "=", 1)))
+            total += est.estimate(q)
+        q_marginal = Query((Predicate("b", "=", 1),))
+        assert total == pytest.approx(est.estimate(q_marginal), rel=1e-6)
+
+    def test_median_errors_reasonable(self):
+        table = tree_structured_table(seed=3)
+        est = BayesNetEstimator(table)
+        rng = np.random.default_rng(4)
+        from repro.workload import WorkloadConfig, generate_inworkload
+        wl = generate_inworkload(table, 40, rng,
+                                 cfg=WorkloadConfig(num_filters_min=1))
+        errs = qerrors(est.estimate_many(wl.queries), wl.cardinalities)
+        assert np.median(errs) < 2.0
+
+    def test_size_accounts_for_cpts(self, estimator):
+        assert estimator.size_bytes() > 0
+
+    def test_row_sampling_path(self):
+        table = tree_structured_table(n=5000)
+        est = BayesNetEstimator(table, sample_rows=1000, seed=0)
+        q = Query((Predicate("a", "=", 0),))
+        truth = true_cardinality(table, q)
+        assert est.estimate(q) == pytest.approx(truth, rel=0.3)

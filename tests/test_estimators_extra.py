@@ -1,0 +1,180 @@
+"""Tests for the "worse than the 9" baselines: QuickSel, MHIST, STHoles,
+plus the Table 1 capability matrix."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.estimators import (CAPABILITY_MATRIX, IMPLEMENTATIONS,
+                              MHISTEstimator, QuickSelEstimator,
+                              STHolesEstimator, capability_rows)
+from repro.estimators.quicksel import overlap_fraction, query_box
+from repro.workload import (WorkloadConfig, Predicate, Query,
+                            generate_inworkload, qerrors, true_cardinality)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 30, 4000)
+    b = (a // 2 + rng.integers(0, 5, 4000)) % 20
+    return Table.from_raw("t", {"a": a, "b": b})
+
+
+@pytest.fixture(scope="module")
+def workload(table):
+    rng = np.random.default_rng(1)
+    return generate_inworkload(table, 120, rng,
+                               cfg=WorkloadConfig(num_filters_min=1))
+
+
+class TestQueryBox:
+    def test_unconstrained_spans_domain(self, table):
+        box = query_box(table, Query(()))
+        np.testing.assert_array_equal(box[:, 0], 0)
+        assert box[0, 1] == table.domain_sizes[0] - 1
+
+    def test_range_predicate(self, table):
+        q = Query((Predicate("a", ">=", 5), Predicate("a", "<=", 10)))
+        box = query_box(table, q)
+        assert box[0, 0] == 5 and box[0, 1] == 10
+
+    def test_overlap_fraction_identity(self, table):
+        box = query_box(table, Query(()))
+        assert overlap_fraction(box, box) == pytest.approx(1.0)
+
+    def test_overlap_fraction_disjoint(self):
+        a = np.array([[0.0, 4.0]])
+        b = np.array([[5.0, 9.0]])
+        assert overlap_fraction(a, b) == 0.0
+
+
+class TestQuickSel:
+    def test_fits_and_improves_over_uniform(self, table, workload):
+        est = QuickSelEstimator(table).fit(workload)
+        errs = qerrors(est.estimate_many(workload.queries),
+                       workload.cardinalities)
+        # Uniform-over-space baseline for reference.
+        vol = np.prod([c.size for c in table.columns])
+        uniform_cards = []
+        for q in workload.queries:
+            qb = query_box(table, q)
+            frac = np.prod(qb[:, 1] - qb[:, 0] + 1) / vol
+            uniform_cards.append(frac * table.num_rows)
+        uniform_errs = qerrors(np.array(uniform_cards),
+                               workload.cardinalities)
+        assert np.median(errs) < np.median(uniform_errs)
+
+    def test_weights_nonnegative_and_normalised(self, table, workload):
+        est = QuickSelEstimator(table).fit(workload)
+        assert (est.weights >= 0).all()
+        assert est.weights.sum() == pytest.approx(1.0, abs=0.1)
+
+    def test_requires_workload(self, table):
+        with pytest.raises(ValueError):
+            QuickSelEstimator(table).fit(None)
+        with pytest.raises(RuntimeError):
+            QuickSelEstimator(table).estimate(Query(()))
+
+
+class TestMHIST:
+    def test_total_count_preserved(self, table):
+        est = MHISTEstimator(table, max_buckets=64)
+        assert est.counts.sum() == pytest.approx(table.num_rows, rel=1e-6)
+
+    def test_full_query_returns_table_size(self, table):
+        est = MHISTEstimator(table, max_buckets=64)
+        assert est.estimate(Query(())) == pytest.approx(table.num_rows,
+                                                        rel=1e-6)
+
+    def test_more_buckets_no_worse(self, table, workload):
+        coarse = MHISTEstimator(table, max_buckets=4)
+        fine = MHISTEstimator(table, max_buckets=256)
+        sub = workload.queries[:40]
+        truths = workload.cardinalities[:40]
+        coarse_err = np.median(qerrors(
+            np.array([coarse.estimate(q) for q in sub]), truths))
+        fine_err = np.median(qerrors(
+            np.array([fine.estimate(q) for q in sub]), truths))
+        assert fine_err <= coarse_err * 1.25
+
+    def test_buckets_disjoint_and_counted(self, table):
+        est = MHISTEstimator(table, max_buckets=32)
+        # Buckets should partition rows: estimating each bucket's own box
+        # equals its count.
+        for bounds, count in zip(est.bounds[:5], est.counts[:5]):
+            preds = []
+            for j, col in enumerate(table.columns):
+                lo, hi = bounds[j]
+                preds.append(Predicate(col.name, ">=", col.values[int(lo)]))
+                preds.append(Predicate(col.name, "<=", col.values[int(hi)]))
+            q = Query(tuple(preds))
+            assert est.estimate(q) >= count * 0.99
+
+
+class TestSTHoles:
+    def test_feedback_improves_repeated_queries(self, table, workload):
+        before = STHolesEstimator(table)
+        sub = workload.queries[:60]
+        truths = workload.cardinalities[:60]
+        errs_before = qerrors(np.array([before.estimate(q) for q in sub]),
+                              truths)
+        after = STHolesEstimator(table).fit(workload)
+        errs_after = qerrors(np.array([after.estimate(q) for q in sub]),
+                             truths)
+        assert np.median(errs_after) < np.median(errs_before)
+
+    def test_exact_on_drilled_query(self, table):
+        q = Query((Predicate("a", ">=", 5), Predicate("a", "<=", 10)))
+        truth = true_cardinality(table, q)
+        est = STHolesEstimator(table)
+        est.refine(q, truth)
+        assert est.estimate(q) == pytest.approx(truth, rel=0.05)
+
+    def test_bucket_budget_respected(self, table, workload):
+        est = STHolesEstimator(table, max_buckets=8).fit(workload)
+        assert est.root.num_buckets() <= 9
+
+    def test_total_mass_preserved(self, table, workload):
+        est = STHolesEstimator(table).fit(workload)
+        assert est.estimate(Query(())) == pytest.approx(table.num_rows,
+                                                        rel=0.01)
+
+    def test_requires_workload(self, table):
+        with pytest.raises(ValueError):
+            STHolesEstimator(table).fit(None)
+
+
+class TestCapabilityMatrix:
+    def test_matches_paper_shape(self):
+        assert len(CAPABILITY_MATRIX) == 13
+        uae = next(c for c in CAPABILITY_MATRIX if "UAE" in c.method)
+        # The paper's Table 1: UAE ticks every column.
+        assert uae.without_assumptions and uae.learns_from_data \
+            and uae.learns_from_queries and uae.incremental_data \
+            and uae.incremental_queries and uae.efficient_estimation
+
+    def test_only_uae_ticks_everything(self):
+        full = [c for c in CAPABILITY_MATRIX
+                if c.without_assumptions and c.learns_from_data
+                and c.learns_from_queries and c.incremental_data
+                and c.incremental_queries and c.efficient_estimation]
+        names = {c.method for c in full}
+        assert "UAE (ours)" in names
+        assert len(names - {"UAE (ours)",
+                            "Query-enhanced KDE (Feedback-KDE)"}) == 0
+
+    def test_every_row_is_implemented(self):
+        for method, path in IMPLEMENTATIONS.items():
+            module_name, _, attr = path.rpartition(".")
+            module = importlib.import_module(module_name)
+            assert hasattr(module, attr), f"{method}: {path} missing"
+
+    def test_rows_render(self):
+        rows = capability_rows()
+        assert len(rows) == len(CAPABILITY_MATRIX)
+        from repro.bench import format_table
+        text = format_table(rows, list(rows[0]))
+        assert "UAE (ours)" in text

@@ -1,0 +1,122 @@
+"""Tests for KDE and Feedback-KDE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Table
+from repro.estimators import FeedbackKDEEstimator, KDEEstimator, mask_to_intervals
+from repro.workload import (WorkloadConfig, generate_inworkload, qerrors,
+                            Predicate, Query, true_cardinality)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    return Table.from_raw("t", {
+        "a": rng.integers(0, 30, 4000),
+        "b": rng.normal(10, 3, 4000).round().clip(0, 20).astype(int),
+    })
+
+
+@pytest.fixture(scope="module")
+def workload(table):
+    rng = np.random.default_rng(1)
+    return generate_inworkload(table, 50, rng,
+                               cfg=WorkloadConfig(num_filters_min=1))
+
+
+class TestMaskToIntervals:
+    def test_simple_run(self):
+        mask = np.array([False, True, True, False, True])
+        assert mask_to_intervals(mask) == [(1, 2), (4, 4)]
+
+    def test_empty(self):
+        assert mask_to_intervals(np.zeros(4, dtype=bool)) == []
+
+    def test_full(self):
+        assert mask_to_intervals(np.ones(3, dtype=bool)) == [(0, 2)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    def test_intervals_cover_exactly_the_mask(self, bits):
+        mask = np.array(bits)
+        rebuilt = np.zeros_like(mask)
+        for lo, hi in mask_to_intervals(mask):
+            assert lo <= hi
+            rebuilt[lo:hi + 1] = True
+        np.testing.assert_array_equal(rebuilt, mask)
+
+
+class TestKDE:
+    def test_wide_ranges_accurate(self, table):
+        est = KDEEstimator(table, sample_size=512, seed=0)
+        q = Query((Predicate("a", "<=", 14),))
+        truth = true_cardinality(table, q)
+        assert est.estimate(q) == pytest.approx(truth, rel=0.25)
+
+    def test_median_errors_reasonable(self, table, workload):
+        est = KDEEstimator(table, sample_size=512, seed=0)
+        errs = qerrors(est.estimate_many(workload.queries),
+                       workload.cardinalities)
+        assert np.median(errs) < 3.0
+
+    def test_budget_constructor(self, table):
+        est = KDEEstimator(table, budget_bytes=8 * table.num_cols * 64)
+        assert len(est.points) == 64
+
+    def test_requires_budget(self, table):
+        with pytest.raises(ValueError):
+            KDEEstimator(table)
+
+    def test_not_equal_mask_supported(self, table):
+        est = KDEEstimator(table, sample_size=256, seed=0)
+        q = Query((Predicate("a", "!=", 5),))
+        truth = true_cardinality(table, q)
+        assert est.estimate(q) == pytest.approx(truth, rel=0.2)
+
+
+class TestFeedbackKDE:
+    def test_fit_does_not_hurt_training_loss(self, table, workload):
+        base = KDEEstimator(table, sample_size=256, seed=0)
+        fb = FeedbackKDEEstimator(table, sample_size=256, seed=0,
+                                  max_iters=20)
+        fb.fit(workload)
+        truths = workload.selectivities(table.num_rows)
+        floor = 1.0 / table.num_rows
+
+        def rel_sq_loss(est):
+            sels = est.estimate_many(workload.queries) / table.num_rows
+            rel = (sels - truths) / np.maximum(truths, floor)
+            return float((rel ** 2).sum())
+
+        assert rel_sq_loss(fb) <= rel_sq_loss(base) + 1e-9
+
+    def test_bandwidths_change(self, table, workload):
+        fb = FeedbackKDEEstimator(table, sample_size=256, seed=0,
+                                  max_iters=10)
+        before = fb.bandwidths.copy()
+        fb.fit(workload)
+        assert not np.allclose(before, fb.bandwidths)
+
+    def test_requires_workload(self, table):
+        with pytest.raises(ValueError):
+            FeedbackKDEEstimator(table, sample_size=64).fit(None)
+
+    def test_analytic_gradient_matches_numeric(self, table, workload):
+        """The hand-derived bandwidth gradient must match finite differences."""
+        fb = FeedbackKDEEstimator(table, sample_size=128, seed=0)
+        masks = [q.masks(table) for q in workload.queries[:10]]
+        truths = workload.selectivities(table.num_rows)[:10]
+        log_h0 = np.log(fb.bandwidths.copy())
+        _, analytic = fb.objective(log_h0, masks, truths)
+
+        eps = 1e-5
+        numeric = np.zeros_like(log_h0)
+        for j in range(len(log_h0)):
+            up = log_h0.copy(); up[j] += eps
+            dn = log_h0.copy(); dn[j] -= eps
+            numeric[j] = (fb.objective(up, masks, truths)[0]
+                          - fb.objective(dn, masks, truths)[0]) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-3, atol=1e-8)

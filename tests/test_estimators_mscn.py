@@ -1,0 +1,88 @@
+"""Tests for MSCN-base and MSCN+sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.estimators import MSCNBase, MSCNSampling
+from repro.workload import (WorkloadConfig, generate_inworkload,
+                            generate_random, qerrors)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 25, 4000)
+    b = (a // 3 + rng.integers(0, 3, 4000)) % 10
+    c = rng.integers(0, 6, 4000)
+    return Table.from_raw("t", {"a": a, "b": b, "c": c})
+
+
+@pytest.fixture(scope="module")
+def workloads(table):
+    rng = np.random.default_rng(1)
+    cfg = WorkloadConfig(num_filters_min=1)
+    return {
+        "train": generate_inworkload(table, 150, rng, cfg=cfg),
+        "test": generate_inworkload(table, 40, rng, cfg=cfg),
+        "random": generate_random(table, 40, rng, cfg=cfg),
+    }
+
+
+class TestFeaturization:
+    def test_shapes(self, table, workloads):
+        est = MSCNBase(table, epochs=1)
+        feats, mask = est._featurize(workloads["train"].queries[:5])
+        max_preds = max(len(q) for q in workloads["train"].queries[:5])
+        assert feats.shape == (5, max_preds, est.pred_dim)
+        assert mask.shape == (5, max_preds)
+        assert mask.sum() == sum(len(q)
+                                 for q in workloads["train"].queries[:5])
+
+    def test_column_onehot_set(self, table, workloads):
+        est = MSCNBase(table, epochs=1)
+        query = workloads["train"].queries[0]
+        feats, _ = est._featurize([query])
+        first_pred_col = table.column_index(query.predicates[0].column)
+        assert feats[0, 0, first_pred_col] == 1.0
+
+
+class TestTraining:
+    def test_learns_training_distribution(self, table, workloads):
+        est = MSCNBase(table, epochs=40, seed=0).fit(workloads["train"])
+        errs = qerrors(est.estimate_many(workloads["test"].queries),
+                       workloads["test"].cardinalities)
+        assert np.median(errs) < 6.0
+
+    def test_requires_workload(self, table):
+        with pytest.raises(ValueError):
+            MSCNBase(table).fit(None)
+
+    def test_estimates_clipped_to_table(self, table, workloads):
+        est = MSCNBase(table, epochs=2, seed=0).fit(workloads["train"])
+        cards = est.estimate_many(workloads["test"].queries)
+        assert (cards >= 0).all()
+        assert (cards <= table.num_rows).all()
+
+    def test_sampling_variant_beats_base_on_shift(self, table, workloads):
+        """The paper's finding 7: sample features help on random queries."""
+        base = MSCNBase(table, epochs=40, seed=0).fit(workloads["train"])
+        plus = MSCNSampling(table, epochs=40, seed=0).fit(workloads["train"])
+        rand = workloads["random"]
+        base_err = np.median(qerrors(base.estimate_many(rand.queries),
+                                     rand.cardinalities))
+        plus_err = np.median(qerrors(plus.estimate_many(rand.queries),
+                                     rand.cardinalities))
+        assert plus_err <= base_err * 1.2
+
+    def test_bitmap_features_shape(self, table, workloads):
+        est = MSCNSampling(table, epochs=1, bitmap_size=32)
+        extra = est._extra_features(workloads["train"].queries[:3])
+        assert extra.shape == (3, 34)
+        # Fraction feature in [0, 1].
+        assert (extra[:, -2] >= 0).all() and (extra[:, -2] <= 1).all()
+
+    def test_sampling_size_includes_sample(self, table):
+        base = MSCNBase(table, epochs=1)
+        plus = MSCNSampling(table, epochs=1)
+        assert plus.size_bytes() > base.size_bytes()

@@ -1,0 +1,120 @@
+"""Tests for the DeepDB-style sum-product network."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.estimators import SPNEstimator
+from repro.estimators.spn import _Leaf, _Product, _Sum, _two_means
+from repro.workload import (WorkloadConfig, Predicate, Query,
+                            generate_inworkload, qerrors, true_cardinality)
+
+
+def independent_table(n=4000, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table.from_raw("ind", {
+        "a": rng.integers(0, 8, n),
+        "b": rng.integers(0, 12, n),
+    })
+
+
+def correlated_table(n=4000, seed=1):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 8, n)
+    b = (a * 2 + rng.integers(0, 2, n)) % 12
+    return Table.from_raw("corr", {"a": a, "b": b})
+
+
+class TestNodes:
+    def test_leaf_probability(self):
+        leaf = _Leaf(0, np.array([0, 0, 0, 1]), 2, smoothing=0.0)
+        mask = np.array([True, False])
+        assert leaf.prob({0: mask}, {}) == pytest.approx(0.75)
+
+    def test_leaf_with_value_function(self):
+        leaf = _Leaf(0, np.array([0, 1, 1, 1]), 2, smoothing=0.0)
+        g = np.array([2.0, 4.0])
+        # E[g(X)] = 0.25*2 + 0.75*4 = 3.5
+        assert leaf.prob({}, {0: g}) == pytest.approx(3.5)
+
+    def test_product_multiplies(self):
+        leaf_a = _Leaf(0, np.array([0, 1]), 2, smoothing=0.0)
+        leaf_b = _Leaf(1, np.array([0, 0]), 2, smoothing=0.0)
+        node = _Product([leaf_a, leaf_b])
+        masks = {0: np.array([True, False]), 1: np.array([True, False])}
+        assert node.prob(masks, {}) == pytest.approx(0.5 * 1.0)
+
+    def test_sum_weights(self):
+        leaf1 = _Leaf(0, np.array([0, 0]), 2, smoothing=0.0)
+        leaf2 = _Leaf(0, np.array([1, 1]), 2, smoothing=0.0)
+        node = _Sum([0.25, 0.75], [leaf1, leaf2])
+        mask = {0: np.array([True, False])}
+        assert node.prob(mask, {}) == pytest.approx(0.25)
+
+
+class TestTwoMeans:
+    def test_separates_two_blobs(self):
+        rng = np.random.default_rng(0)
+        low = rng.integers(0, 3, size=(100, 2))
+        high = rng.integers(20, 23, size=(100, 2))
+        rows = np.vstack([low, high])
+        labels = _two_means(rows, rng)
+        # All lows together, all highs together.
+        assert len(set(labels[:100])) == 1
+        assert len(set(labels[100:])) == 1
+        assert labels[0] != labels[150]
+
+
+class TestSPN:
+    def test_total_mass_is_one(self):
+        spn = SPNEstimator(correlated_table())
+        assert spn.expectation({}, {}) == pytest.approx(1.0, rel=1e-6)
+
+    def test_independent_columns_get_product_split(self):
+        spn = SPNEstimator(independent_table(), dependence_threshold=0.05)
+        assert isinstance(spn.root, _Product)
+
+    def test_accurate_on_independent_data(self):
+        table = independent_table()
+        spn = SPNEstimator(table)
+        q = Query((Predicate("a", "<=", 3), Predicate("b", ">=", 6)))
+        truth = true_cardinality(table, q)
+        assert spn.estimate(q) == pytest.approx(truth, rel=0.2)
+
+    def test_handles_correlation_better_than_forced_independence(self):
+        table = correlated_table()
+        good = SPNEstimator(table, dependence_threshold=0.02, min_rows=64)
+        # Force a pure-independence SPN by making the threshold impossible.
+        bad = SPNEstimator(table, dependence_threshold=10.0, max_depth=0)
+        q = Query((Predicate("a", "=", 2), Predicate("b", "=", 4)))
+        truth = true_cardinality(table, q)
+        good_err = max(good.estimate(q), 1) / max(truth, 1)
+        bad_err = max(bad.estimate(q), 1) / max(truth, 1)
+        good_err = max(good_err, 1 / good_err)
+        bad_err = max(bad_err, 1 / bad_err)
+        assert good_err <= bad_err * 1.5
+
+    def test_expectation_with_gain_vector(self):
+        table = independent_table()
+        spn = SPNEstimator(table)
+        g = np.full(table.domain_sizes[0], 0.5)
+        full = spn.expectation({}, {0: g})
+        assert full == pytest.approx(0.5, rel=1e-5)
+
+    def test_median_errors_reasonable(self):
+        table = correlated_table(n=6000)
+        spn = SPNEstimator(table)
+        rng = np.random.default_rng(5)
+        wl = generate_inworkload(table, 40, rng,
+                                 cfg=WorkloadConfig(num_filters_min=1))
+        errs = qerrors(spn.estimate_many(wl.queries), wl.cardinalities)
+        assert np.median(errs) < 3.0
+
+    def test_size_bytes(self):
+        spn = SPNEstimator(independent_table())
+        assert spn.size_bytes() > 0
+
+    def test_row_sampling_cap(self):
+        table = correlated_table(n=5000)
+        spn = SPNEstimator(table, sample_rows=500)
+        assert spn.expectation({}, {}) == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,113 @@
+"""End-to-end integration tests exercising the public API the way the
+examples and benchmarks do.  Kept at small scale; the statistical claims
+here are deliberately loose — the benchmarks make the quantitative case."""
+
+import numpy as np
+import pytest
+
+from repro import UAE, LabeledWorkload, Predicate, Query, load
+from repro.estimators import Naru, SamplingEstimator
+from repro.workload import (generate_inworkload, generate_random,
+                            generate_shifted_partitions, qerrors, summarize)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def dmv_setup():
+    table = load("dmv", rows=3000, seed=0)
+    rng = np.random.default_rng(11)
+    return {
+        "table": table,
+        "train": generate_inworkload(table, 120, rng),
+        "test_in": generate_inworkload(table, 40, rng),
+        "test_rand": generate_random(table, 40, rng),
+    }
+
+
+FAST = dict(hidden=32, num_blocks=1, est_samples=64, dps_samples=4,
+            batch_size=256, query_batch_size=8, lam=1e-3, seed=0)
+
+
+class TestPaperStory:
+    """The qualitative findings of Section 5.2 at miniature scale."""
+
+    def test_uae_matches_or_beats_naru_at_tail(self, dmv_setup):
+        table, train = dmv_setup["table"], dmv_setup["train"]
+        test = dmv_setup["test_in"]
+
+        naru = Naru(table, **FAST)
+        naru.fit(epochs=4)
+        uae = UAE(table, **FAST)
+        uae.fit(epochs=4, workload=train, mode="hybrid")
+
+        naru_err = summarize(naru.estimate_many(test.queries),
+                             test.cardinalities)
+        uae_err = summarize(uae.estimate_many(test.queries),
+                            test.cardinalities)
+        # Finding 8: the hybrid never does much worse than its data module
+        # and typically improves the tail.
+        assert uae_err.mean <= naru_err.mean * 2.0
+        assert uae_err.maximum <= naru_err.maximum * 3.0
+
+    def test_query_only_is_workload_sensitive(self, dmv_setup):
+        """Finding 1: supervised-only estimators degrade on random
+        queries relative to their in-workload accuracy."""
+        table, train = dmv_setup["table"], dmv_setup["train"]
+        uae_q = UAE(table, **FAST)
+        uae_q.fit(epochs=8, workload=train, mode="query")
+        err_in = summarize(uae_q.estimate_many(dmv_setup["test_in"].queries),
+                           dmv_setup["test_in"].cardinalities)
+        err_rand = summarize(
+            uae_q.estimate_many(dmv_setup["test_rand"].queries),
+            dmv_setup["test_rand"].cardinalities)
+        assert err_rand.mean >= err_in.mean * 0.5  # no free lunch off-workload
+
+    def test_incremental_workload_story(self, dmv_setup):
+        """Table 6's mechanism: refined UAE tracks shifted partitions."""
+        table = dmv_setup["table"]
+        rng = np.random.default_rng(21)
+        parts = generate_shifted_partitions(table, 2, 40, 15, rng)
+
+        uae = UAE(table, **FAST)
+        uae.fit(epochs=3, mode="data")
+        means = []
+        for part_train, part_test in parts:
+            uae.ingest_queries(part_train, epochs=4)
+            err = summarize(uae.estimate_many(part_test.queries),
+                            part_test.cardinalities)
+            means.append(err.mean)
+        assert all(np.isfinite(means))
+        assert max(means) < 200  # stays sane across partitions
+
+
+class TestPublicAPI:
+    def test_quickstart_flow(self):
+        """The README quickstart, condensed."""
+        table = load("census", rows=1500, seed=1)
+        rng = np.random.default_rng(0)
+        workload = generate_inworkload(table, 40, rng)
+        model = UAE(table, hidden=24, num_blocks=1, est_samples=32,
+                    dps_samples=4, batch_size=128, seed=0)
+        model.fit(epochs=2, workload=workload, mode="hybrid")
+        query = Query((Predicate("age", "<=", table.column("age").values[30]),))
+        card = model.estimate(query)
+        assert 0 <= card <= table.num_rows
+
+    def test_workload_roundtrip_through_estimators(self, dmv_setup):
+        table = dmv_setup["table"]
+        sampler = SamplingEstimator(table, fraction=0.2, seed=0)
+        errs = qerrors(sampler.estimate_many(dmv_setup["test_in"].queries),
+                       dmv_setup["test_in"].cardinalities)
+        assert np.median(errs) < 5.0
+
+    def test_labeled_workload_from_user_queries(self, dmv_setup):
+        table = dmv_setup["table"]
+        from repro.workload import true_cardinalities
+        queries = [Query((Predicate("county", "<=",
+                                    table.column("county").values[100]),))]
+        cards = true_cardinalities(table, queries)
+        wl = LabeledWorkload(queries, cards)
+        model = UAE(table, **FAST)
+        model.fit(epochs=1, workload=wl, mode="query")
+        assert len(model.history) == 1

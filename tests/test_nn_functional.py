@@ -1,0 +1,143 @@
+"""Tests for softmax/cross-entropy/q-error losses and Gumbel noise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from tests.conftest import numeric_gradient
+
+RNG = np.random.default_rng(1)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = Tensor(RNG.standard_normal((5, 7)))
+        probs = F.softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-5)
+        assert (probs >= 0).all()
+
+    def test_matches_scipy(self):
+        from scipy.special import softmax as scipy_softmax
+        x = RNG.standard_normal((4, 6))
+        np.testing.assert_allclose(F.softmax(Tensor(x)).data,
+                                   scipy_softmax(x, axis=-1), atol=1e-5)
+
+    def test_stable_with_large_logits(self):
+        x = np.array([[1000.0, 1000.0, -1000.0]])
+        probs = F.softmax(Tensor(x)).data
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs[0, :2], 0.5, atol=1e-5)
+
+    def test_gradient(self):
+        x = RNG.standard_normal((3, 4))
+
+        def fn(arr):
+            return (F.softmax(Tensor(arr, requires_grad=False)) ** 2) \
+                .sum().item()
+
+        t = Tensor(x, requires_grad=True)
+        (F.softmax(t) ** 2).sum().backward()
+        numeric = numeric_gradient(lambda a: fn(a), x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=2e-2)
+
+    def test_log_softmax_consistency(self):
+        x = RNG.standard_normal((4, 5))
+        np.testing.assert_allclose(F.log_softmax(Tensor(x)).data,
+                                   np.log(F.softmax(Tensor(x)).data),
+                                   atol=1e-5)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_k(self):
+        logits = Tensor(np.zeros((8, 5)))
+        targets = RNG.integers(0, 5, 8)
+        loss = F.cross_entropy(logits, targets)
+        assert loss.item() == pytest.approx(np.log(5), rel=1e-4)
+
+    def test_perfect_prediction_near_zero(self):
+        targets = np.array([0, 1, 2])
+        logits = np.full((3, 3), -50.0)
+        logits[np.arange(3), targets] = 50.0
+        assert F.cross_entropy(Tensor(logits), targets).item() < 1e-4
+
+    def test_gradient_direction(self):
+        """Gradient should push the target logit up."""
+        logits = Tensor(np.zeros((1, 4)), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([2]))
+        loss.backward()
+        assert logits.grad[0, 2] < 0          # increase target logit
+        assert (np.delete(logits.grad[0], 2) > 0).all()
+
+
+class TestQErrorLoss:
+    def test_perfect_estimate_is_one(self):
+        est = Tensor(np.array([0.25, 0.5]))
+        loss = F.qerror_loss(est, np.array([0.25, 0.5]))
+        assert loss.item() == pytest.approx(1.0, rel=1e-5)
+
+    def test_symmetric_in_ratio(self):
+        over = F.qerror_loss(Tensor(np.array([0.4])), np.array([0.1])).item()
+        under = F.qerror_loss(Tensor(np.array([0.1])), np.array([0.4])).item()
+        assert over == pytest.approx(under, rel=1e-5)
+        assert over == pytest.approx(4.0, rel=1e-5)
+
+    def test_gradient_sign(self):
+        est = Tensor(np.array([0.4]), requires_grad=True)
+        F.qerror_loss(est, np.array([0.1])).backward()
+        assert est.grad[0] > 0  # overestimate: push estimate down
+        est2 = Tensor(np.array([0.05]), requires_grad=True)
+        F.qerror_loss(est2, np.array([0.2])).backward()
+        assert est2.grad[0] < 0  # underestimate: push estimate up
+
+    def test_zero_estimate_clamped(self):
+        loss = F.qerror_loss(Tensor(np.array([0.0])), np.array([0.5]))
+        assert np.isfinite(loss.item())
+
+
+class TestOtherLosses:
+    def test_mse(self):
+        loss = F.mse_loss(Tensor(np.array([1.0, 2.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_msle_perfect(self):
+        est = Tensor(np.array([0.1, 0.9]))
+        assert F.msle_loss(est, np.array([0.1, 0.9])).item() \
+            == pytest.approx(0.0, abs=1e-6)
+
+    def test_masked_fill(self):
+        logits = Tensor(np.ones((2, 3)), requires_grad=True)
+        invalid = np.array([[True, False, False], [False, False, True]])
+        out = F.masked_fill(logits, invalid)
+        assert out.data[0, 0] == F.NEG_INF
+        assert out.data[0, 1] == 1.0
+        out.sum().backward()
+        # Gradient flows only through the kept entries.
+        np.testing.assert_allclose(logits.grad, (~invalid).astype(float))
+
+
+class TestGumbelNoise:
+    def test_moments(self):
+        g = F.sample_gumbel((200_000,), np.random.default_rng(0))
+        euler = 0.5772156649
+        assert g.mean() == pytest.approx(euler, abs=0.02)
+        assert g.std() == pytest.approx(np.pi / np.sqrt(6), abs=0.02)
+
+    def test_argmax_gumbel_trick_distribution(self):
+        """argmax(log pi + g) should sample from pi (Eq. 8)."""
+        pi = np.array([0.6, 0.3, 0.1])
+        rng = np.random.default_rng(2)
+        n = 40_000
+        noise = F.sample_gumbel((n, 3), rng)
+        picks = (np.log(pi)[None, :] + noise).argmax(axis=1)
+        freq = np.bincount(picks, minlength=3) / n
+        np.testing.assert_allclose(freq, pi, atol=0.02)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(1e-4, 1.0), st.floats(1e-4, 1.0))
+def test_qerror_loss_at_least_one(est, true):
+    loss = F.qerror_loss(Tensor(np.array([est])), np.array([true]))
+    assert loss.item() >= 1.0 - 1e-4

@@ -1,0 +1,154 @@
+"""Tests for the module system: layers, parameter tracking, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, Dropout, Embedding, LayerNorm, Linear,
+                      MaskedLinear, Module, ReLU, Sequential, Tensor)
+
+RNG = np.random.default_rng(3)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 7, RNG)
+        out = layer(Tensor(RNG.standard_normal((5, 4))))
+        assert out.shape == (5, 7)
+
+    def test_matches_manual_affine(self):
+        layer = Linear(3, 2, RNG)
+        x = RNG.standard_normal((4, 3)).astype(np.float32)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, atol=1e-5)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, RNG, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+
+class TestMaskedLinear:
+    def test_mask_blocks_connections(self):
+        layer = MaskedLinear(4, 3, RNG)
+        mask = np.zeros((3, 4), dtype=np.float32)
+        mask[:, 0] = 1.0  # only input 0 connects
+        layer.set_mask(mask)
+        x1 = np.zeros((1, 4), dtype=np.float32)
+        x2 = np.zeros((1, 4), dtype=np.float32)
+        x2[0, 1:] = 5.0  # change blocked inputs only
+        np.testing.assert_allclose(layer(Tensor(x1)).data,
+                                   layer(Tensor(x2)).data)
+
+    def test_mask_shape_validation(self):
+        layer = MaskedLinear(4, 3, RNG)
+        with pytest.raises(ValueError):
+            layer.set_mask(np.ones((4, 3)))
+
+    def test_gradient_respects_mask(self):
+        layer = MaskedLinear(3, 2, RNG)
+        mask = np.array([[1, 0, 0], [1, 1, 0]], dtype=np.float32)
+        layer.set_mask(mask)
+        out = layer(Tensor(RNG.standard_normal((4, 3))))
+        out.sum().backward()
+        assert np.all(layer.weight.grad[mask == 0] == 0)
+
+
+class TestContainers:
+    def test_sequential(self):
+        net = Sequential(Linear(3, 5, RNG), ReLU(), Linear(5, 2, RNG))
+        out = net(Tensor(RNG.standard_normal((4, 3))))
+        assert out.shape == (4, 2)
+        assert len(list(net.parameters())) == 4
+
+    def test_num_parameters_and_size(self):
+        net = Linear(10, 5, RNG)
+        assert net.num_parameters() == 10 * 5 + 5
+        assert net.size_bytes() == 4 * net.num_parameters()
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(6, 3, RNG)
+        codes = np.array([0, 5, 2])
+        out = emb(codes)
+        np.testing.assert_allclose(out.data, emb.weight.data[codes])
+
+    def test_soft_lookup_matches_hard_for_onehot(self):
+        emb = Embedding(4, 3, RNG)
+        onehot = np.zeros((2, 4), dtype=np.float32)
+        onehot[0, 1] = 1.0
+        onehot[1, 3] = 1.0
+        soft = emb.soft_lookup(Tensor(onehot)).data
+        hard = emb(np.array([1, 3])).data
+        np.testing.assert_allclose(soft, hard, atol=1e-6)
+
+    def test_gradient_flows_to_table(self):
+        emb = Embedding(4, 3, RNG)
+        emb(np.array([1, 1, 2])).sum().backward()
+        assert emb.weight.grad is not None
+        np.testing.assert_allclose(emb.weight.grad[1], 2.0)
+        np.testing.assert_allclose(emb.weight.grad[0], 0.0)
+
+
+class TestLayerNormDropout:
+    def test_layernorm_stats(self):
+        ln = LayerNorm(16)
+        x = Tensor(RNG.standard_normal((8, 16)) * 5 + 3)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_dropout_train_vs_eval(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        x = Tensor(np.ones((1000,)))
+        out = drop(x).data
+        assert (out == 0).mean() == pytest.approx(0.5, abs=0.05)
+        assert out.mean() == pytest.approx(1.0, abs=0.1)  # inverted scaling
+        drop.training = False
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_dropout_validates_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5, RNG)
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1 = Sequential(Linear(4, 6, RNG), ReLU(), Linear(6, 2, RNG))
+        net2 = Sequential(Linear(4, 6, RNG), ReLU(), Linear(6, 2, RNG))
+        x = Tensor(RNG.standard_normal((3, 4)))
+        assert not np.allclose(net1(x).data, net2(x).data)
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_allclose(net1(x).data, net2(x).data)
+
+    def test_missing_key_raises(self):
+        net = Linear(3, 3, RNG)
+        with pytest.raises(KeyError):
+            net.load_state_dict({})
+
+    def test_state_dict_is_copy(self):
+        net = Linear(2, 2, RNG)
+        state = net.state_dict()
+        for arr in state.values():
+            arr += 100.0
+        fresh = net.state_dict()
+        for key in state:
+            assert not np.allclose(state[key], fresh[key])
+
+
+class TestTrainingLoop:
+    def test_linear_regression_convergence(self):
+        """The substrate can actually fit y = Wx + b."""
+        rng = np.random.default_rng(0)
+        true_w = rng.standard_normal((3, 1)).astype(np.float32)
+        x = rng.standard_normal((256, 3)).astype(np.float32)
+        y = x @ true_w
+        model = Linear(3, 1, rng)
+        opt = Adam(model.parameters(), lr=5e-2)
+        for _ in range(300):
+            pred = model(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(model.weight.data.T, true_w, atol=0.05)

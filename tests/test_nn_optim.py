@@ -1,0 +1,91 @@
+"""Optimizer tests: descent on quadratics, momentum, Adam bias correction."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Tensor
+
+
+def quadratic_loss(param: Tensor) -> Tensor:
+    return ((param - 3.0) ** 2).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Tensor(np.zeros(1), requires_grad=True)
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = quadratic_loss(p)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return abs(p.data[0] - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.full(3, 10.0), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        # Zero loss gradient: only decay acts.
+        loss = (p * 0.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.full(4, -5.0), requires_grad=True)
+        opt = Adam([p], lr=0.3)
+        for _ in range(300):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-2)
+
+    def test_first_step_size_close_to_lr(self):
+        """Bias correction makes the first Adam step ~lr in magnitude."""
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = Adam([p], lr=0.5)
+        loss = (p * 1.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert abs(10.0 - p.data[0]) == pytest.approx(0.5, rel=1e-3)
+
+    def test_grad_clip_limits_update(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        opt = Adam([p], lr=0.1, grad_clip=1.0)
+        loss = (p * 1e6).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert np.isfinite(p.data).all()
+        assert abs(p.data[0]) <= 0.2
+
+    def test_skips_params_without_grad(self):
+        used = Tensor(np.zeros(1), requires_grad=True)
+        unused = Tensor(np.ones(1), requires_grad=True)
+        opt = Adam([used, unused], lr=0.1)
+        loss = quadratic_loss(used)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        np.testing.assert_allclose(unused.data, 1.0)

@@ -1,0 +1,163 @@
+"""Tests for the planner, cost model, and Figure 6 study harness."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import make_imdb_large
+from repro.joins import JoinQuery
+from repro.joins.workload import generate_job_m_focused
+from repro.optimizer import (EstimatorCardAdapter, Plan, PostgresHeuristic,
+                             TrueCardOracle, best_plan, connected, join_cost,
+                             plan_cost, plan_for_query, plan_intermediates,
+                             restrict_query, run_optimizer_study, scan_cost)
+from repro.workload import Predicate
+
+
+class TestCostModel:
+    def test_leaf_cost_is_scan(self):
+        plan = Plan(frozenset(["a"]))
+        assert plan_cost(plan, lambda s: 42.0) == 42.0
+
+    def test_join_cost_formula(self):
+        assert join_cost(10, 100, 50) == 2 * 10 + 100 + 50
+
+    def test_join_cost_symmetric_build_choice(self):
+        assert join_cost(100, 10, 50) == join_cost(10, 100, 50)
+
+    def test_plan_cost_hand_computed(self):
+        cards = {frozenset(["a"]): 10.0, frozenset(["b"]): 20.0,
+                 frozenset(["a", "b"]): 5.0}
+        plan = Plan(frozenset(["a", "b"]),
+                    Plan(frozenset(["a"])), Plan(frozenset(["b"])))
+        expected = 10 + 20 + (2 * 10 + 20 + 5)
+        assert plan_cost(plan, lambda s: cards[s]) == expected
+
+    def test_plan_intermediates(self):
+        plan = Plan(frozenset(["a", "b"]),
+                    Plan(frozenset(["a"])), Plan(frozenset(["b"])))
+        subsets = plan_intermediates(plan)
+        assert frozenset(["a", "b"]) in subsets
+        assert len(subsets) == 3
+
+
+class TestPlanner:
+    def test_connectivity_rule(self):
+        assert connected(frozenset(["title"]), "title")
+        assert connected(frozenset(["x"]), "title")
+        assert connected(frozenset(["title", "x"]), "title")
+        assert not connected(frozenset(["x", "y"]), "title")
+
+    def test_two_table_plan(self):
+        cards = {frozenset(["title"]): 100.0, frozenset(["x"]): 10.0,
+                 frozenset(["title", "x"]): 50.0}
+        plan = best_plan(["title", "x"], "title", lambda s: cards[s])
+        assert plan.tables == frozenset(["title", "x"])
+        assert not plan.is_leaf
+
+    def test_prefers_selective_join_first(self):
+        """With one tiny and one huge child, join the tiny one first."""
+        cards = {
+            frozenset(["title"]): 1000.0,
+            frozenset(["small"]): 1.0,
+            frozenset(["big"]): 10_000.0,
+            frozenset(["title", "small"]): 5.0,
+            frozenset(["title", "big"]): 100_000.0,
+            frozenset(["title", "small", "big"]): 50.0,
+        }
+        plan = best_plan(["title", "small", "big"], "title",
+                         lambda s: cards[s])
+        # The first join must be title ⋈ small.
+        first_join = plan.left if not plan.left.is_leaf else plan.right
+        if first_join.is_leaf:  # both leaves: root is the first join
+            first_join = plan
+        assert frozenset(["title", "small"]) in plan_intermediates(plan)
+        assert frozenset(["title", "big"]) not in plan_intermediates(plan)
+
+    def test_optimal_beats_fixed_order(self):
+        """DP plan cost <= any left-deep order under the same cards."""
+        rng = np.random.default_rng(0)
+        tables = ["title", "a", "b", "c"]
+        cards = {}
+        for size in range(1, 5):
+            from itertools import combinations
+            for combo in combinations(tables, size):
+                s = frozenset(combo)
+                if connected(s, "title"):
+                    cards[s] = float(rng.integers(1, 10_000))
+
+        def card(s):
+            return cards[s]
+
+        plan = best_plan(tables, "title", card)
+        best_cost = plan_cost(plan, card)
+        # Compare against the worst left-deep order.
+        for order in ([["a", "b", "c"]], [["c", "b", "a"]]):
+            current = Plan(frozenset(["title"]))
+            for t in order[0]:
+                joined = current.tables | {t}
+                current = Plan(joined, current, Plan(frozenset([t])))
+            assert best_cost <= plan_cost(current, card) + 1e-9
+
+    def test_disconnected_raises(self):
+        with pytest.raises(RuntimeError):
+            best_plan(["x", "y"], "title", lambda s: 1.0)
+
+
+class TestHeuristicAndOracle:
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return make_imdb_large(n_titles=400, seed=1)
+
+    def test_postgres_base_cardinality(self, schema):
+        pg = PostgresHeuristic(schema)
+        card = pg.base_cardinality("title", [])
+        assert card == schema.tables["title"].num_rows
+
+    def test_postgres_join_estimate_positive(self, schema):
+        pg = PostgresHeuristic(schema)
+        q = JoinQuery(("title", "movie_companies"),
+                      (Predicate("title.kind_id", "=", 1),))
+        card = pg.cardinality(q, frozenset(q.tables))
+        assert card > 0
+
+    def test_oracle_matches_truth(self, schema):
+        from repro.joins.workload import true_join_cardinality
+        oracle = TrueCardOracle(schema)
+        q = JoinQuery(("title", "movie_companies"), ())
+        fn = oracle.card_fn(q)
+        assert fn(frozenset(q.tables)) == pytest.approx(
+            max(true_join_cardinality(schema, q), 1.0))
+
+    def test_restrict_query_drops_foreign_predicates(self):
+        q = JoinQuery(("title", "movie_info"),
+                      (Predicate("title.kind_id", "=", 1),
+                       Predicate("movie_info.info_type_id", "=", 2)))
+        sub = restrict_query(q, frozenset(["title"]))
+        assert len(sub.predicates) == 1
+        assert sub.predicates[0].column == "title.kind_id"
+
+    def test_study_oracle_never_slower(self, schema):
+        """Planning with true cards can never lose to the heuristic."""
+        rng = np.random.default_rng(2)
+        wl = generate_job_m_focused(schema, 6, rng)
+        results = run_optimizer_study(schema, wl.queries, [])
+        oracle_result = results[0]
+        assert oracle_result.estimator == "TrueCard"
+        assert (oracle_result.speedups >= 1.0 - 1e-9).all()
+
+    def test_adapter_caches(self, schema):
+        calls = []
+
+        class Fake:
+            name = "fake"
+
+            def estimate(self, q):
+                calls.append(q)
+                return 10.0
+
+        adapter = EstimatorCardAdapter(Fake())
+        q = JoinQuery(("title", "movie_info"), ())
+        fn = adapter.card_fn(q)
+        fn(frozenset(["title"]))
+        fn(frozenset(["title"]))
+        assert len(calls) == 1

@@ -1,0 +1,187 @@
+"""Tests for predicates, queries, executor, generators and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Table
+from repro.workload import (ErrorSummary, LabeledWorkload, Predicate, Query,
+                            WorkloadConfig, default_bounded_column,
+                            generate_inworkload, generate_random,
+                            generate_shifted_partitions, qerror, qerrors,
+                            query_from_ranges, row_mask, summarize,
+                            true_cardinality)
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(0)
+    return Table.from_raw("t", {
+        "a": rng.integers(0, 10, 500),
+        "b": rng.integers(0, 5, 500),
+        "c": rng.integers(0, 50, 500),
+    })
+
+
+class TestPredicate:
+    def test_str(self):
+        assert str(Predicate("a", "<=", 5)) == "a <= 5"
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            Predicate("a", "LIKE", "x")
+
+    def test_in_requires_sequence(self):
+        with pytest.raises(ValueError):
+            Predicate("a", "IN", 5)
+
+
+class TestQueryMasks:
+    def test_conjunction_on_same_column_intersects(self, table):
+        q = Query((Predicate("a", ">=", 3), Predicate("a", "<=", 6)))
+        masks = q.masks(table)
+        col = table.column("a")
+        expected = (col.values >= 3) & (col.values <= 6)
+        np.testing.assert_array_equal(masks[0], expected)
+
+    def test_empty_query(self, table):
+        q = Query(())
+        assert q.masks(table) == {}
+        assert true_cardinality(table, q) == table.num_rows
+
+    def test_query_from_ranges(self, table):
+        q = query_from_ranges(table, {"a": (2, 4)})
+        assert len(q) == 2
+        assert true_cardinality(table, q) == int(
+            ((table.raw_column("a") >= 2) & (table.raw_column("a") <= 4)).sum())
+
+    def test_columns_property(self, table):
+        q = Query((Predicate("a", "=", 1), Predicate("c", "<", 10)))
+        assert q.columns == ["a", "c"]
+
+
+class TestExecutor:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(["a", "b", "c"]),
+           st.sampled_from(["=", "<", "<=", ">", ">=", "!="]),
+           st.integers(0, 49))
+    def test_matches_numpy_bruteforce(self, column, op, literal, ):
+        rng = np.random.default_rng(9)
+        table = Table.from_raw("t", {
+            "a": rng.integers(0, 10, 300),
+            "b": rng.integers(0, 5, 300),
+            "c": rng.integers(0, 50, 300),
+        })
+        literal = literal % table.column(column).size
+        literal = table.column(column).values[literal]
+        q = Query((Predicate(column, op, literal),))
+        raw = table.raw_column(column)
+        ops = {"=": np.equal, "<": np.less, "<=": np.less_equal,
+               ">": np.greater, ">=": np.greater_equal,
+               "!=": np.not_equal}
+        expected = int(ops[op](raw, literal).sum())
+        assert true_cardinality(table, q) == expected
+
+    def test_conjunction_bruteforce(self, table):
+        q = Query((Predicate("a", ">=", 5), Predicate("b", "=", 2)))
+        raw_a, raw_b = table.raw_column("a"), table.raw_column("b")
+        expected = int(((raw_a >= 5) & (raw_b == 2)).sum())
+        assert true_cardinality(table, q) == expected
+
+    def test_row_mask_short_circuits_empty(self, table):
+        q = Query((Predicate("a", ">", 100),))
+        assert not row_mask(table, q).any()
+
+
+class TestGenerators:
+    def test_inworkload_has_bounded_attribute(self, table):
+        rng = np.random.default_rng(1)
+        wl = generate_inworkload(table, 20, rng)
+        bounded = default_bounded_column(table)
+        assert bounded == "c"  # largest domain
+        for query in wl.queries:
+            assert bounded in query.columns
+        assert (wl.cardinalities > 0).all()
+
+    def test_inworkload_filter_count(self, table):
+        rng = np.random.default_rng(2)
+        cfg = WorkloadConfig(num_filters_min=2)
+        wl = generate_inworkload(table, 10, rng, cfg=cfg)
+        for query in wl.queries:
+            # 2 bounded-range predicates + at least two random filters.
+            assert len(query) >= 4
+
+    def test_random_queries_have_no_bounded_attribute_bias(self, table):
+        rng = np.random.default_rng(3)
+        wl = generate_random(table, 30, rng,
+                             cfg=WorkloadConfig(num_filters_min=1))
+        count_c = sum("c" in q.columns for q in wl.queries)
+        assert count_c < 30  # not always present
+
+    def test_shifted_partitions_have_disjoint_centers(self, table):
+        rng = np.random.default_rng(4)
+        parts = generate_shifted_partitions(table, 3, 10, 5, rng)
+        assert len(parts) == 3
+        col = table.column("c")
+
+        def center_of(wl):
+            centers = []
+            for q in wl.queries:
+                lits = [p.value for p in q.predicates if p.column == "c"]
+                centers.append(np.mean([col.code_of(v) for v in lits]))
+            return np.mean(centers)
+
+        centers = [center_of(train) for train, _ in parts]
+        assert centers == sorted(centers)
+        assert centers[-1] - centers[0] > col.size * 0.3
+
+    def test_labeled_workload_helpers(self, table):
+        rng = np.random.default_rng(5)
+        wl = generate_inworkload(table, 10, rng)
+        first, rest = wl.split(4)
+        assert len(first) == 4 and len(rest) == 6
+        sub = wl.subset([0, 2])
+        assert len(sub) == 2
+        q, card = wl[0]
+        assert card == wl.cardinalities[0]
+        sels = wl.selectivities(table.num_rows)
+        assert ((sels > 0) & (sels <= 1)).all()
+
+
+class TestMetrics:
+    def test_qerror_basics(self):
+        assert qerror(10, 100) == 10.0
+        assert qerror(100, 10) == 10.0
+        assert qerror(50, 50) == 1.0
+
+    def test_qerror_floor(self):
+        assert qerror(0, 5) == 5.0  # estimate floored at 1
+
+    def test_qerrors_vectorised(self):
+        est = np.array([1.0, 10.0, 100.0])
+        tru = np.array([10.0, 10.0, 10.0])
+        np.testing.assert_allclose(qerrors(est, tru), [10.0, 1.0, 10.0])
+
+    def test_summary_quantiles(self):
+        errors = np.array([1.0] * 95 + [100.0] * 5)
+        summary = ErrorSummary.from_errors(errors)
+        assert summary.median == 1.0
+        assert summary.maximum == 100.0
+        assert summary.mean == pytest.approx(5.95)
+
+    def test_summarize_function(self):
+        s = summarize(np.array([2.0, 3.0]), np.array([1.0, 3.0]))
+        assert s.maximum == 2.0
+        assert s.count == 2
+
+    def test_empty_errors_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.from_errors(np.array([]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.1, 1e6), st.floats(0.1, 1e6))
+    def test_qerror_properties(self, est, tru):
+        e = qerror(est, tru)
+        assert e >= 1.0
+        assert e == pytest.approx(qerror(tru, est), rel=1e-6)  # symmetric

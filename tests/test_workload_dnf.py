@@ -1,0 +1,114 @@
+"""Tests for disjunction support via inclusion-exclusion."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.estimators import SamplingEstimator
+from repro.workload import (DNFQuery, Predicate, Query, estimate_disjunction,
+                            intersect_queries, true_cardinality,
+                            true_disjunction_cardinality)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    return Table.from_raw("t", {
+        "a": rng.integers(0, 10, 2000),
+        "b": rng.integers(0, 6, 2000),
+    })
+
+
+@pytest.fixture(scope="module")
+def exact(table):
+    """An exact estimator (full scan) isolates the inclusion-exclusion
+    arithmetic from model error."""
+    return SamplingEstimator(table, fraction=1.0)
+
+
+class TestIntersect:
+    def test_overlapping_ranges(self, table):
+        q1 = Query((Predicate("a", ">=", 2), Predicate("a", "<=", 6)))
+        q2 = Query((Predicate("a", ">=", 4), Predicate("a", "<=", 8)))
+        merged = intersect_queries(table, [q1, q2])
+        assert true_cardinality(table, merged) == true_cardinality(
+            table, Query((Predicate("a", ">=", 4), Predicate("a", "<=", 6))))
+
+    def test_contradiction_returns_none(self, table):
+        q1 = Query((Predicate("a", "=", 2),))
+        q2 = Query((Predicate("a", "=", 5),))
+        assert intersect_queries(table, [q1, q2]) is None
+
+    def test_unconstrained_columns_dropped(self, table):
+        q = Query((Predicate("a", ">=", 0),))  # matches the full domain
+        merged = intersect_queries(table, [q])
+        assert len(merged) == 0
+
+
+class TestInclusionExclusion:
+    def test_two_disjuncts_exact(self, table, exact):
+        dnf = DNFQuery([
+            Query((Predicate("a", "<=", 3),)),
+            Query((Predicate("a", ">=", 7),)),
+        ])
+        truth = true_disjunction_cardinality(table, dnf)
+        assert estimate_disjunction(exact, dnf) == pytest.approx(truth,
+                                                                 abs=0.5)
+
+    def test_overlapping_disjuncts_exact(self, table, exact):
+        dnf = DNFQuery([
+            Query((Predicate("a", "<=", 6),)),
+            Query((Predicate("a", ">=", 3),)),
+        ])
+        truth = true_disjunction_cardinality(table, dnf)
+        assert truth == table.num_rows  # the union covers everything
+        assert estimate_disjunction(exact, dnf) == pytest.approx(truth,
+                                                                 abs=0.5)
+
+    def test_cross_column_disjunction(self, table, exact):
+        dnf = DNFQuery([
+            Query((Predicate("a", "=", 1),)),
+            Query((Predicate("b", "=", 2),)),
+        ])
+        truth = true_disjunction_cardinality(table, dnf)
+        assert estimate_disjunction(exact, dnf) == pytest.approx(truth,
+                                                                 abs=0.5)
+
+    def test_three_disjuncts_exact(self, table, exact):
+        dnf = DNFQuery([
+            Query((Predicate("a", "=", 1),)),
+            Query((Predicate("a", "=", 2), Predicate("b", "<=", 3))),
+            Query((Predicate("b", "=", 5),)),
+        ])
+        truth = true_disjunction_cardinality(table, dnf)
+        assert estimate_disjunction(exact, dnf) == pytest.approx(truth,
+                                                                 abs=0.5)
+
+    def test_term_budget_enforced(self, table, exact):
+        many = DNFQuery([Query((Predicate("a", "=", i),))
+                         for i in range(10)])
+        with pytest.raises(ValueError):
+            estimate_disjunction(exact, many, max_terms=100)
+
+    def test_with_learned_estimator(self, table):
+        """The UAE path answers DNF queries end to end."""
+        from repro.core import UAE
+        model = UAE(table, hidden=24, num_blocks=1, est_samples=64,
+                    dps_samples=4, batch_size=256, seed=0)
+        model.fit(epochs=3, mode="data")
+        dnf = DNFQuery([
+            Query((Predicate("a", "<=", 2),)),
+            Query((Predicate("a", ">=", 8),)),
+        ])
+        truth = true_disjunction_cardinality(table, dnf)
+        est = estimate_disjunction(model, dnf)
+        assert est == pytest.approx(truth, rel=0.5)
+
+    def test_empty_dnf_rejected(self):
+        with pytest.raises(ValueError):
+            DNFQuery([])
+
+    def test_str(self):
+        dnf = DNFQuery([Query((Predicate("a", "=", 1),))])
+        assert "OR" not in str(dnf)
+        assert "a = 1" in str(dnf)

@@ -1,0 +1,141 @@
+"""Tests for the SQL predicate parser."""
+
+import numpy as np
+import pytest
+
+from repro.data import Table
+from repro.workload import (DNFQuery, Query, SQLParseError, parse_predicates,
+                            parse_query, true_cardinality,
+                            true_disjunction_cardinality)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    return Table.from_raw("t", {
+        "a": rng.integers(0, 20, 1000),
+        "b": rng.integers(0, 5, 1000),
+        "name": rng.choice(np.array(["alice", "bob", "carol"]), 1000),
+    })
+
+
+class TestBasicPredicates:
+    def test_comparison_ops(self):
+        q = parse_predicates("a >= 3 AND b < 2")
+        assert isinstance(q, Query)
+        assert len(q) == 2
+        assert q.predicates[0].op == ">=" and q.predicates[0].value == 3
+        assert q.predicates[1].op == "<" and q.predicates[1].value == 2
+
+    def test_not_equal_variants(self):
+        q1 = parse_predicates("a != 3")
+        q2 = parse_predicates("a <> 3")
+        assert q1.predicates[0].op == q2.predicates[0].op == "!="
+
+    def test_string_literal(self):
+        q = parse_predicates("name = 'bob'")
+        assert q.predicates[0].value == "bob"
+
+    def test_string_with_escaped_quote(self):
+        q = parse_predicates("name = 'o''brien'")
+        assert q.predicates[0].value == "o'brien"
+
+    def test_float_literal(self):
+        q = parse_predicates("a <= 3.5")
+        assert q.predicates[0].value == 3.5
+
+    def test_negative_number(self):
+        q = parse_predicates("a >= -2")
+        assert q.predicates[0].value == -2
+
+    def test_in_clause(self):
+        q = parse_predicates("b IN (1, 2, 3)")
+        assert q.predicates[0].op == "IN"
+        assert q.predicates[0].value == (1, 2, 3)
+
+    def test_between(self):
+        q = parse_predicates("a BETWEEN 2 AND 8")
+        assert len(q) == 2
+        assert q.predicates[0].op == ">=" and q.predicates[0].value == 2
+        assert q.predicates[1].op == "<=" and q.predicates[1].value == 8
+
+    def test_empty_input(self):
+        q = parse_predicates("")
+        assert isinstance(q, Query) and len(q) == 0
+
+
+class TestBooleanStructure:
+    def test_or_returns_dnf(self):
+        q = parse_predicates("a = 1 OR a = 2")
+        assert isinstance(q, DNFQuery)
+        assert len(q) == 2
+
+    def test_parentheses_and_distribution(self):
+        q = parse_predicates("(a = 1 OR a = 2) AND b = 3")
+        assert isinstance(q, DNFQuery)
+        assert len(q) == 2
+        for conj in q.conjunctions:
+            cols = [p.column for p in conj.predicates]
+            assert "b" in cols
+
+    def test_nested_parens(self):
+        q = parse_predicates("((a = 1))")
+        assert isinstance(q, Query)
+        assert q.predicates[0].value == 1
+
+    def test_semantics_match_execution(self, table):
+        text = "(a <= 5 OR a >= 15) AND b = 2"
+        parsed = parse_predicates(text)
+        raw_a, raw_b = table.raw_column("a"), table.raw_column("b")
+        expected = int((((raw_a <= 5) | (raw_a >= 15)) & (raw_b == 2)).sum())
+        assert true_disjunction_cardinality(table, parsed) == expected
+
+    def test_between_with_and_chain(self, table):
+        parsed = parse_predicates("a BETWEEN 3 AND 10 AND b = 1")
+        raw_a, raw_b = table.raw_column("a"), table.raw_column("b")
+        expected = int(((raw_a >= 3) & (raw_a <= 10) & (raw_b == 1)).sum())
+        assert true_cardinality(table, parsed) == expected
+
+
+class TestFullQueries:
+    def test_select_count_where(self, table):
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM t WHERE a >= 10 AND name = 'alice'")
+        raw_a = table.raw_column("a")
+        names = table.raw_column("name")
+        expected = int(((raw_a >= 10) & (names == "alice")).sum())
+        assert true_cardinality(table, parsed) == expected
+
+    def test_select_without_where(self):
+        parsed = parse_query("SELECT COUNT(*) FROM t")
+        assert isinstance(parsed, Query) and len(parsed) == 0
+
+    def test_bare_fragment(self):
+        parsed = parse_query("a = 1")
+        assert len(parsed) == 1
+
+    def test_case_insensitive_keywords(self):
+        parsed = parse_query("select count(*) from t where a = 1 and b = 2")
+        assert len(parsed) == 2
+
+
+class TestErrors:
+    def test_garbage_input(self):
+        with pytest.raises(SQLParseError):
+            parse_predicates("a ~~ 3")
+
+    def test_missing_operator(self):
+        with pytest.raises(SQLParseError):
+            parse_predicates("a 3")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(SQLParseError):
+            parse_predicates("(a = 1")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SQLParseError):
+            parse_predicates("a = 1 b = 2")
+
+    def test_bad_in_list(self):
+        with pytest.raises(SQLParseError):
+            parse_predicates("a IN (1 2)")

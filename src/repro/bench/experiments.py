@@ -688,7 +688,14 @@ def ablation_ensemble(profile: Profile | None = None) -> dict:
             "columns": ["model", "size_kb"] + _ERROR_COLS, "rows": rows}
 
 
+def run_infer_latency(profile: Profile | None = None) -> dict:
+    """Inference-engine microbenchmark (writes BENCH_infer.json)."""
+    from .infer_bench import run_infer_latency as _run
+    return _run(profile)
+
+
 EXPERIMENTS = {
+    "latency": run_infer_latency,
     "table1": capability_matrix,
     "sub_baselines": run_sub_baselines,
     "ablation_ensemble": ablation_ensemble,

@@ -1,0 +1,134 @@
+"""Inference-engine latency/throughput microbenchmark.
+
+Measures ``ProgressiveSampler.estimate_batch`` on the legacy reference
+loop and on the compiled engine *in the same run*, over the same DMV
+workload and the same random seeds, then checks the two paths agree
+within Monte-Carlo tolerance (same seed implies draw-for-draw parity, so
+agreement is far tighter than the sampling error).  A third row measures
+the scheduler-grouped ``estimate_many`` path.
+
+Run ``python -m repro.bench latency --profile bench`` to regenerate the
+``BENCH_infer.json`` artifact at the repo root (plus the usual
+``results/latency.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from ..core import UAE
+from ..core.progressive import ProgressiveSampler
+from ..data import load
+from ..workload import generate_inworkload
+from .profiles import Profile, current_profile
+from .reporting import RESULTS_DIR
+
+# Next to the results directory (which follows $REPRO_RESULTS_DIR), so the
+# artifact lands in the repo for source checkouts and stays writable for
+# installed packages pointed at a results location.
+BENCH_PATH = os.path.join(os.path.dirname(os.path.abspath(RESULTS_DIR)),
+                          "BENCH_infer.json")
+
+_LATENCY_QUERIES = {"small": 16, "bench": 64, "paper": 256}
+
+
+def _time_batches(sampler: ProgressiveSampler, constraints: list[list],
+                  batch_queries: int) -> tuple[float, np.ndarray]:
+    """Wall-clock seconds and estimates for chunked ``estimate_batch``."""
+    estimates = np.empty(len(constraints), dtype=np.float64)
+    start = time.perf_counter()
+    for lo in range(0, len(constraints), batch_queries):
+        chunk = constraints[lo:lo + batch_queries]
+        estimates[lo:lo + len(chunk)] = sampler.estimate_batch(chunk)
+    return time.perf_counter() - start, estimates
+
+
+def run_infer_latency(profile: Profile | None = None,
+                      batch_queries: int = 8,
+                      write_artifact: bool = True) -> dict:
+    """Legacy vs compiled-engine throughput on the DMV workload."""
+    profile = profile or current_profile()
+    n_queries = _LATENCY_QUERIES.get(profile.name, 64)
+    table = load("dmv", rows=profile.dataset_rows("dmv"), seed=0)
+    uae = UAE(table, hidden=profile.hidden, num_blocks=profile.num_blocks,
+              est_samples=profile.est_samples, seed=0)
+    rng = np.random.default_rng(1234)
+    workload = generate_inworkload(table, n_queries, rng)
+    constraints = [uae.fact.expand_masks(q.masks(table))
+                   for q in workload.queries]
+
+    samplers = {
+        "legacy": ProgressiveSampler(uae.model,
+                                     num_samples=profile.est_samples,
+                                     seed=5, backend="legacy"),
+        "engine": ProgressiveSampler(uae.model,
+                                     num_samples=profile.est_samples,
+                                     seed=5, backend="engine"),
+    }
+    # Warm both paths (buffer pools, compiled caches, BLAS threads) on a
+    # throwaway chunk so the measured loops are steady-state.
+    for sampler in samplers.values():
+        sampler.estimate_batch(constraints[:batch_queries])
+
+    timings: dict[str, float] = {}
+    estimates: dict[str, np.ndarray] = {}
+    for name, sampler in samplers.items():
+        sampler.rng = np.random.default_rng(99)  # identical draw streams
+        timings[name], estimates[name] = _time_batches(
+            sampler, constraints, batch_queries)
+
+    scheduled = ProgressiveSampler(uae.model, num_samples=profile.est_samples,
+                                   seed=5, backend="engine")
+    scheduled.estimate_many(constraints[:batch_queries])
+    scheduled.rng = np.random.default_rng(99)
+    start = time.perf_counter()
+    scheduled.estimate_many(constraints)
+    timings["engine+scheduler"] = time.perf_counter() - start
+
+    speedup = timings["legacy"] / timings["engine"]
+    diff = np.abs(estimates["legacy"] - estimates["engine"])
+    denom = np.maximum(np.maximum(estimates["legacy"],
+                                  estimates["engine"]), 1e-12)
+    rows = []
+    for name in ("legacy", "engine", "engine+scheduler"):
+        elapsed = timings[name]
+        rows.append({
+            "path": name,
+            "queries_per_sec": n_queries / elapsed,
+            "ms_per_query": elapsed * 1e3 / n_queries,
+            "speedup_vs_legacy": timings["legacy"] / elapsed,
+        })
+
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "profile": profile.name,
+        "dataset": "dmv",
+        "num_rows": table.num_rows,
+        "num_queries": n_queries,
+        "num_samples": profile.est_samples,
+        "batch_queries": batch_queries,
+        "legacy_qps": n_queries / timings["legacy"],
+        "engine_qps": n_queries / timings["engine"],
+        "scheduler_qps": n_queries / timings["engine+scheduler"],
+        "speedup_estimate_batch": speedup,
+        "estimate_max_abs_diff": float(diff.max()),
+        "estimate_max_rel_diff": float((diff / denom).max()),
+        "rows": rows,
+    }
+    if write_artifact:
+        try:
+            with open(BENCH_PATH, "w") as fh:
+                json.dump(payload, fh, indent=2)
+        except OSError as exc:  # never discard timed results over a write
+            print(f"warning: could not write {BENCH_PATH}: {exc}")
+    return {"title": "Inference engine throughput: legacy vs compiled "
+                     f"(DMV, profile={profile.name})",
+            "columns": ["path", "queries_per_sec", "ms_per_query",
+                        "speedup_vs_legacy"],
+            "rows": rows,
+            **{k: v for k, v in payload.items() if k != "rows"}}

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..infer import compile_constraints
 from ..nn import functional as F
 from ..nn.made import ResMADE
 from ..nn.tensor import Tensor, concatenate, stack
@@ -72,12 +73,13 @@ class DifferentiableProgressiveSampler:
 
         density: Tensor | None = None
         hard_hi: dict[int, np.ndarray] = {}
+        compiled = compile_constraints(constraint_lists, model.domain_sizes)
 
         for pos in range(last_pos + 1):
             col = model.order[pos]
             if not queried[col]:
                 continue
-            valid, gain = self._valid_matrix(constraint_lists, col, s, hard_hi)
+            valid, gain = compiled.valid_gain_rows(col, s, hard_hi)
             x = concatenate(segments, axis=-1)
             h = model.hidden_tensor(x)
             logits = model.column_logits_from_hidden(h, col)
@@ -105,39 +107,6 @@ class DifferentiableProgressiveSampler:
 
         est = density.reshape(n_queries, s).mean(axis=1)
         return est
-
-    # ------------------------------------------------------------------
-    def _valid_matrix(self, constraint_lists: list[list], col: int, s: int,
-                      hard_hi: dict[int, np.ndarray]
-                      ) -> tuple[np.ndarray, np.ndarray | None]:
-        domain = self.model.domain_sizes[col]
-        rows = []
-        gains: list[np.ndarray] | None = None
-        for qi, cl in enumerate(constraint_lists):
-            cons = cl[col]
-            if cons is None:
-                rows.append(np.ones((s, domain), dtype=bool))
-            elif cons[0] == "fixed":
-                rows.append(np.broadcast_to(cons[1], (s, domain)))
-            elif cons[0] == "scaled":
-                rows.append(np.broadcast_to(cons[1], (s, domain)))
-                if gains is None:
-                    gains = [np.ones((s, domain))] * qi
-                gains.append(np.broadcast_to(cons[2], (s, domain)))
-            elif cons[0] == "lo":
-                codes = hard_hi.get(col - 1)
-                if codes is None:
-                    union = cons[1].any(axis=0)
-                    rows.append(np.broadcast_to(union, (s, domain)))
-                else:
-                    rows.append(cons[1][codes[qi * s:(qi + 1) * s]])
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown constraint kind {cons[0]!r}")
-            if gains is not None and len(gains) < qi + 1:
-                gains.append(np.ones((s, domain)))
-        valid = np.concatenate(rows, axis=0)
-        gain = None if gains is None else np.concatenate(gains, axis=0)
-        return valid, gain
 
 
 class ScoreFunctionSampler:
@@ -176,12 +145,17 @@ class ScoreFunctionSampler:
         density = np.ones(batch, dtype=np.float64)
         log_prob_terms: list[Tensor] = []
         hard: dict[int, np.ndarray] = {}
+        compiled = compile_constraints(constraint_lists, model.domain_sizes)
 
         for pos in range(last_pos + 1):
             col = model.order[pos]
             if not queried[col]:
                 continue
-            valid = self._valid(constraint_lists, col, s, hard)
+            valid, gain = compiled.valid_gain_rows(col, s, hard)
+            if gain is not None:
+                raise NotImplementedError(
+                    "the REINFORCE ablation does not support fanout-scaled "
+                    "join columns; use the Gumbel-Softmax estimator")
             x = concatenate(segments, axis=-1)
             h = model.hidden_tensor(x)
             logits = model.column_logits_from_hidden(h, col)
@@ -226,28 +200,6 @@ class ScoreFunctionSampler:
         surrogate = (total_logp * Tensor(weight.astype(np.float32))).sum() \
             * (1.0 / n_queries)
         return surrogate, est
-
-    def _valid(self, constraint_lists, col, s, hard):
-        domain = self.model.domain_sizes[col]
-        rows = []
-        for qi, cl in enumerate(constraint_lists):
-            cons = cl[col]
-            if cons is None:
-                rows.append(np.ones((s, domain), dtype=bool))
-            elif cons[0] == "fixed":
-                rows.append(np.broadcast_to(cons[1], (s, domain)))
-            elif cons[0] == "scaled":
-                raise NotImplementedError(
-                    "the REINFORCE ablation does not support fanout-scaled "
-                    "join columns; use the Gumbel-Softmax estimator")
-            else:
-                codes = hard.get(col - 1)
-                if codes is None:
-                    rows.append(np.broadcast_to(cons[1].any(axis=0),
-                                                (s, domain)))
-                else:
-                    rows.append(cons[1][codes[qi * s:(qi + 1) * s]])
-        return np.concatenate(rows, axis=0)
 
 
 def _softmax_np(logits: np.ndarray) -> np.ndarray:

@@ -102,7 +102,23 @@ class PartitionedUAE(TrainableEstimator):
         return float(min(total, self.table.num_rows))
 
     def estimate_many(self, queries: list[Query]) -> np.ndarray:
-        return np.array([self.estimate(q) for q in queries])
+        """Batched additive combination.
+
+        Each partition estimates all queries that can touch it in one
+        scheduled engine run instead of a per-query Python loop; totals
+        are accumulated additively exactly as :meth:`estimate` does.
+        """
+        col_idx = self.table.column_index(self.partition_column)
+        query_masks = [q.masks(self.table).get(col_idx) for q in queries]
+        totals = np.zeros(len(queries), dtype=np.float64)
+        for model, domain_mask in zip(self.partitions, self.partition_masks):
+            relevant = [i for i, qm in enumerate(query_masks)
+                        if qm is None or (qm & domain_mask).any()]
+            if not relevant:
+                continue
+            ests = model.estimate_many([queries[i] for i in relevant])
+            totals[relevant] += ests
+        return np.minimum(totals, self.table.num_rows)
 
     def size_bytes(self) -> int:
         return sum(m.size_bytes() for m in self.partitions)

@@ -6,7 +6,13 @@ the query region*, accumulating the probability mass the region retains at
 every step.  The average of the per-sample products is an unbiased estimate
 of the query selectivity.
 
-This is the pure-numpy inference path (no gradients), with:
+Estimation runs on the compiled inference engine (:mod:`repro.infer`) by
+default: fused masked weights, packed constraints, prefix-state
+deduplication and a signature-grouping batch scheduler.  The original
+pure-numpy loop is kept as ``backend="legacy"`` /
+:meth:`ProgressiveSampler.estimate_batch_legacy` — it is the reference
+implementation the engine's equivalence tests and the latency benchmark
+compare against.  Both paths share:
 
 * **wildcard skipping** — unqueried columns keep their wildcard encoding
   and are skipped entirely (Section 4.6, Liang et al. 2020);
@@ -21,6 +27,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..infer import BatchScheduler, CompiledModel, InferenceEngine
+from ..nn.functional import log_softmax_np
 from ..nn.made import ResMADE
 from .gumbel import hard_sample_np
 
@@ -35,15 +43,40 @@ class ProgressiveSampler:
     """Estimates selectivities for constraint lists over *model columns*.
 
     A constraint list is what :meth:`ColumnFactorization.expand_masks`
-    produces: per model column either ``None``, ``("fixed", mask)`` or
-    ``("lo", grid)``.
+    produces: per model column either ``None``, ``("fixed", mask)``,
+    ``("scaled", mask, gain)`` or ``("lo", grid)``.
+
+    ``backend="engine"`` (default) runs the compiled inference engine;
+    ``backend="legacy"`` runs the original reference loop.
     """
 
     def __init__(self, model: ResMADE, num_samples: int = 200,
-                 seed: int = 0):
+                 seed: int = 0, backend: str = "engine",
+                 max_batch_rows: int = 8192):
+        if backend not in ("engine", "legacy"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.model = model
         self.num_samples = num_samples
         self.rng = np.random.default_rng(seed)
+        self.backend = backend
+        self.max_batch_rows = max_batch_rows
+        self._engine: InferenceEngine | None = None
+        self._scheduler: BatchScheduler | None = None
+
+    @property
+    def engine(self) -> InferenceEngine:
+        """Compiled engine, built lazily so legacy-backend samplers never
+        pay for the weight snapshot."""
+        if self._engine is None:
+            self._engine = InferenceEngine(self.model)
+        return self._engine
+
+    @property
+    def scheduler(self) -> BatchScheduler:
+        if self._scheduler is None:
+            self._scheduler = BatchScheduler(self.engine,
+                                             max_rows=self.max_batch_rows)
+        return self._scheduler
 
     # ------------------------------------------------------------------
     def estimate(self, constraints: list) -> float:
@@ -63,6 +96,40 @@ class ProgressiveSampler:
     def estimate_batch(self, constraint_lists: list[list],
                        with_error: bool = False):
         """Selectivity estimates for a batch of queries."""
+        if self.backend == "engine":
+            return self.engine.estimate_batch(
+                constraint_lists, self.num_samples, self.rng,
+                with_error=with_error)
+        return self.estimate_batch_legacy(constraint_lists,
+                                          with_error=with_error)
+
+    def estimate_many(self, constraint_lists: list[list],
+                      with_error: bool = False):
+        """Estimates for a large query mix, scheduled by signature.
+
+        Unlike :meth:`estimate_batch` — which runs every query through the
+        union of the batch's queried columns — grouped execution gives each
+        query exactly its own autoregressive steps, matching the
+        single-query code path.
+        """
+        if self.backend == "engine":
+            return self.scheduler.estimate_many(
+                constraint_lists, self.num_samples, self.rng,
+                with_error=with_error)
+        results = [self.estimate_batch_legacy([cl], with_error=with_error)
+                   for cl in constraint_lists]
+        if with_error:
+            return (np.array([r[0][0] for r in results]),
+                    np.array([r[1][0] for r in results]))
+        return np.array([r[0] for r in results])
+
+    # ------------------------------------------------------------------
+    # Legacy reference implementation
+    # ------------------------------------------------------------------
+    def estimate_batch_legacy(self, constraint_lists: list[list],
+                              with_error: bool = False):
+        """The original per-row numpy loop, kept as the reference the
+        compiled engine is validated (and benchmarked) against."""
         model = self.model
         n_queries = len(constraint_lists)
         s = self.num_samples
@@ -132,7 +199,8 @@ class ProgressiveSampler:
         Fixed masks broadcast per query; ``("lo", grid)`` masks are looked
         up per-sample using the high digit sampled at ``col - 1``;
         ``("scaled", mask, g)`` contributes the per-value gain ``g`` (the
-        join estimator's ``1/fanout`` factors).
+        join estimator's ``1/fanout`` factors).  The compiled-constraint
+        equivalent is :meth:`repro.infer.CompiledConstraints.valid_gain_rows`.
         """
         domain = self.model.domain_sizes[col]
         rows = []
@@ -172,11 +240,13 @@ class UniformSampler:
 
     Samples tuples uniformly from the query region and averages the model
     density times the region volume — higher variance than progressive
-    sampling on skewed data, kept for the ablation benchmark.
+    sampling on skewed data, kept for the ablation benchmark.  The forward
+    pass runs through the compiled model snapshot.
     """
 
     def __init__(self, model: ResMADE, num_samples: int = 200, seed: int = 0):
         self.model = model
+        self.compiled = CompiledModel(model)
         self.num_samples = num_samples
         self.rng = np.random.default_rng(seed)
 
@@ -212,14 +282,13 @@ class UniformSampler:
                 codes[:, col] = self.rng.choice(valid_codes, size=s)
         # Model density of each sampled point, with wildcards marginalised
         # by the wildcard-trained network.
+        self.compiled.ensure_current()
         x = model.encode_tuples(codes, wildcard=wildcard)
-        logits = model.forward_np(x)
+        logits = self.compiled.all_logits(x)
         logp = np.zeros(s, dtype=np.float64)
         for col, valid_codes in enumerate(columns):
             if valid_codes is None:
                 continue
-            lg = model.logits_for_np(logits, col)
-            lg = lg - lg.max(axis=1, keepdims=True)
-            lp = lg - np.log(np.exp(lg).sum(axis=1, keepdims=True))
+            lp = log_softmax_np(model.logits_for_np(logits, col))
             logp += lp[np.arange(s), codes[:, col]]
         return float(np.clip(np.exp(logp).mean() * volume, 0.0, 1.0))

@@ -321,16 +321,30 @@ class UAE(TrainableEstimator):
         return sel * n, low, high
 
     def estimate_many(self, queries: list[Query],
-                      batch_queries: int = 8) -> np.ndarray:
-        out = np.empty(len(queries), dtype=np.float64)
-        for start in range(0, len(queries), batch_queries):
-            chunk = queries[start:start + batch_queries]
-            constraints = [self.fact.expand_masks(q.masks(self.table))
-                           for q in chunk]
-            sels = self.sampler.estimate_batch(constraints)
-            out[start:start + len(chunk)] = np.clip(sels, 0.0, 1.0) \
-                * self.table.num_rows
-        return out
+                      batch_queries: int | None = None) -> np.ndarray:
+        """Batched estimation through the inference engine's scheduler.
+
+        Queries are grouped by queried-column signature so each group runs
+        only the autoregressive steps it needs; ``batch_queries`` caps the
+        per-call group size (default: the scheduler's row budget).
+        """
+        constraints = [self.fact.expand_masks(q.masks(self.table))
+                       for q in queries]
+        sels = self.estimate_constraints_many(constraints,
+                                              batch_queries=batch_queries)
+        return np.clip(sels, 0.0, 1.0) * self.table.num_rows
+
+    def estimate_constraints_many(self, constraint_lists: list[list],
+                                  batch_queries: int | None = None
+                                  ) -> np.ndarray:
+        """Scheduled selectivity estimates for raw constraint lists."""
+        if batch_queries is not None and self.sampler.backend == "engine":
+            scheduler = type(self.sampler.scheduler)(
+                self.sampler.engine,
+                max_rows=batch_queries * self.sampler.num_samples)
+            return scheduler.estimate_many(
+                constraint_lists, self.sampler.num_samples, self.sampler.rng)
+        return self.sampler.estimate_many(constraint_lists)
 
     def estimate_uniform(self, query: Query, num_samples: int = 200) -> float:
         """Uniform-sampling inference (Eq. 4) for the sampler ablation."""
@@ -354,17 +368,15 @@ class UAE(TrainableEstimator):
         rng = np.random.default_rng(self.config.seed + 17 if seed is None
                                     else seed)
         model = self.model
-        zero = np.zeros((n, model.num_cols), dtype=np.int64)
-        wild = np.ones((n, model.num_cols), dtype=bool)
-        x = model.encode_tuples(zero, wildcard=wild)
+        compiled = self.sampler.engine.compiled
+        compiled.ensure_current()
+        x = np.repeat(compiled.wildcard_row, n, axis=0)
         sampled = np.zeros((n, model.num_cols), dtype=np.int32)
+        from ..nn.functional import softmax_np
+        from .gumbel import hard_sample_np
         for col in model.order:
-            h = model.hidden_np(x)
-            logits = model.column_logits_np(h, col)
-            shifted = logits - logits.max(axis=1, keepdims=True)
-            probs = np.exp(shifted)
-            probs /= probs.sum(axis=1, keepdims=True)
-            from .gumbel import hard_sample_np
+            h = compiled.hidden(x)
+            probs = softmax_np(compiled.column_logits(h, col))
             codes = hard_sample_np(probs, rng)
             sampled[:, col] = codes
             x[:, model.input_slices[col]] = \

@@ -1,0 +1,22 @@
+"""High-throughput inference engine for progressive-sampling estimation.
+
+Layers (see the README's "Inference engine" section):
+
+* :class:`CompiledModel` — fused/pre-transposed weight snapshot of a
+  ResMADE, invalidated via parameter version counters;
+* :class:`CompiledConstraints` / :func:`compile_constraints` — packed
+  numpy form of ``expand_masks`` constraint lists;
+* :class:`InferenceEngine` — the batched sampling loop with prefix-state
+  deduplication and pooled buffers;
+* :class:`BatchScheduler` — groups ``estimate_many`` workloads by
+  queried-column signature.
+"""
+
+from .compiled import CompiledModel
+from .constraints import ColumnConstraints, CompiledConstraints, \
+    compile_constraints
+from .engine import InferenceEngine
+from .scheduler import BatchScheduler
+
+__all__ = ["CompiledModel", "ColumnConstraints", "CompiledConstraints",
+           "compile_constraints", "InferenceEngine", "BatchScheduler"]

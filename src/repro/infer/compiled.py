@@ -1,0 +1,137 @@
+"""Compiled inference view of a :class:`~repro.nn.made.ResMADE` model.
+
+:class:`CompiledModel` materialises everything the hot sampling loop needs
+as flat, pre-transposed, contiguous float32 numpy arrays:
+
+* the fused ``weight * mask`` matrix of every masked layer, transposed to
+  ``[in, out]`` so each forward matmul is a plain row-major GEMM;
+* per-column *output heads*: the slice of the fused output projection that
+  produces one column's logits, pre-transposed to ``[hidden, domain]``,
+  plus the matching bias slice — the legacy path pays a full
+  ``weight * mask`` product over *all* logits just to read one column;
+* the constant fully-wildcarded input row, its hidden state, and each
+  column's logits under full wildcarding.  Every progressive-sampling
+  batch starts from this state, so step 0 costs one cached row instead of
+  a batch-sized forward pass.
+
+Invalidation contract
+---------------------
+Compiled artifacts derive from parameter *values*, so the cache is keyed on
+the tuple of parameter version counters (see ``Tensor.version``).  Optimizer
+steps (:class:`~repro.nn.optim.SGD` / :class:`~repro.nn.optim.Adam`) and
+``Module.load_state_dict`` bump versions; any code mutating ``Tensor.data``
+in place must call ``bump_version()``.  ``ensure_current()`` recompiles
+lazily on the next use after a bump — training and estimation can therefore
+interleave freely (Section 4.5 ingestion) without stale reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.made import ResMADE
+
+
+class CompiledModel:
+    """Read-optimised snapshot of a ResMADE for gradient-free inference."""
+
+    def __init__(self, model: ResMADE):
+        self.model = model
+        self._version: tuple[int, ...] | None = None
+        self.ensure_current()
+
+    # ------------------------------------------------------------------
+    # Compilation / invalidation
+    # ------------------------------------------------------------------
+    def _current_version(self) -> tuple[int, ...]:
+        return tuple(p.version for p in self.model.parameters())
+
+    def ensure_current(self) -> bool:
+        """Recompile if any parameter changed; returns True when rebuilt."""
+        version = self._current_version()
+        if version == self._version:
+            return False
+        self._compile()
+        self._version = version
+        return True
+
+    def _compile(self) -> None:
+        model = self.model
+        self.w_in = np.ascontiguousarray(
+            model.input_layer.fused_weight_t(), dtype=np.float32)
+        self.b_in = model.input_layer.bias.data
+        self.block_weights: list[tuple[np.ndarray, np.ndarray,
+                                       np.ndarray, np.ndarray]] = []
+        for block in model.blocks:
+            self.block_weights.append((
+                np.ascontiguousarray(block.fc1.fused_weight_t(),
+                                     dtype=np.float32),
+                block.fc1.bias.data,
+                np.ascontiguousarray(block.fc2.fused_weight_t(),
+                                     dtype=np.float32),
+                block.fc2.bias.data))
+        fused_out = model.output_layer.fused_weight()
+        out_bias = model.output_layer.bias.data
+        self.heads: list[np.ndarray] = []
+        self.head_bias: list[np.ndarray] = []
+        for col in range(model.num_cols):
+            sl = model.logit_slices[col]
+            self.heads.append(np.ascontiguousarray(fused_out[sl].T,
+                                                   dtype=np.float32))
+            self.head_bias.append(np.ascontiguousarray(out_bias[sl],
+                                                       dtype=np.float32))
+        self.w_out = np.ascontiguousarray(fused_out.T, dtype=np.float32)
+        self.b_out = out_bias
+
+        # Constant all-wildcard state: the value slots of every encoder are
+        # zeroed under a wildcard, so this row does not depend on embedding
+        # parameters — but the hidden state and logits do.
+        zero = np.zeros((1, model.num_cols), dtype=np.int64)
+        wild = np.ones((1, model.num_cols), dtype=bool)
+        self.wildcard_row = model.encode_tuples(zero, wildcard=wild)
+        self.wildcard_hidden = self.hidden(self.wildcard_row)
+        self._wildcard_logits: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Forward passes (equivalent to the model's *_np reference methods)
+    # ------------------------------------------------------------------
+    def hidden(self, x: np.ndarray) -> np.ndarray:
+        """Trunk forward: encoded input ``[n, input_width]`` -> pre-ReLU
+        final hidden state (matches ``ResMADE.hidden_np``)."""
+        h = x @ self.w_in
+        h += self.b_in
+        for w1, b1, w2, b2 in self.block_weights:
+            a = np.maximum(h, 0.0)
+            a = a @ w1
+            a += b1
+            np.maximum(a, 0.0, out=a)
+            a = a @ w2
+            a += b2
+            h += a
+        return h
+
+    def column_logits(self, h: np.ndarray, col: int,
+                      relu_buf: np.ndarray | None = None) -> np.ndarray:
+        """Hidden state -> logits of one column via its pre-sliced head."""
+        if relu_buf is not None and relu_buf.shape == h.shape:
+            relu = np.maximum(h, 0.0, out=relu_buf)
+        else:
+            relu = np.maximum(h, 0.0)
+        logits = relu @ self.heads[col]
+        logits += self.head_bias[col]
+        return logits
+
+    def all_logits(self, x: np.ndarray) -> np.ndarray:
+        """Full forward (matches ``ResMADE.forward_np``)."""
+        h = np.maximum(self.hidden(x), 0.0)
+        out = h @ self.w_out
+        out += self.b_out
+        return out
+
+    def wildcard_logits(self, col: int) -> np.ndarray:
+        """Logits ``[1, domain]`` of ``col`` for the all-wildcard input."""
+        cached = self._wildcard_logits.get(col)
+        if cached is None:
+            cached = self.column_logits(self.wildcard_hidden, col)
+            self._wildcard_logits[col] = cached
+        return cached

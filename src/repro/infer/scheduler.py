@@ -1,0 +1,64 @@
+"""Batched estimation scheduling.
+
+``estimate_many`` workloads mix queries with different *queried-column
+signatures*.  Running them through one engine call forces every query to
+pay for the union of all queried columns: the autoregressive loop visits a
+column as soon as *any* query in the batch constrains it, and samples every
+row there.  The scheduler groups queries by signature first, so each group
+executes exactly the steps its queries need — a query touching 3 columns
+costs 3 steps even when batched next to an 11-column query — and chunks
+groups so the row count (queries x samples) stays within a working-set
+budget.
+
+Grouped execution also makes batched estimates reproduce the single-query
+code path exactly: a query's estimate no longer depends on which other
+queries happened to share its batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constraints import compile_constraints
+from .engine import InferenceEngine
+
+
+class BatchScheduler:
+    """Signature-grouping scheduler over an :class:`InferenceEngine`."""
+
+    def __init__(self, engine: InferenceEngine, max_rows: int = 8192):
+        self.engine = engine
+        self.max_rows = int(max_rows)
+
+    def plan(self, constraint_lists: list[list]) -> list[list[int]]:
+        """Group query indices by queried-column signature."""
+        groups: dict[tuple[int, ...], list[int]] = {}
+        num_cols = len(self.engine.model.domain_sizes)
+        for i, cl in enumerate(constraint_lists):
+            sig = tuple(c for c in range(num_cols) if cl[c] is not None)
+            groups.setdefault(sig, []).append(i)
+        return list(groups.values())
+
+    def estimate_many(self, constraint_lists: list[list], num_samples: int,
+                      rng: np.random.Generator, with_error: bool = False):
+        """Estimates for an arbitrary query mix, grouped then chunked."""
+        n = len(constraint_lists)
+        out = np.empty(n, dtype=np.float64)
+        errs = np.empty(n, dtype=np.float64) if with_error else None
+        chunk_queries = max(1, self.max_rows // max(num_samples, 1))
+        for group in self.plan(constraint_lists):
+            for start in range(0, len(group), chunk_queries):
+                idx = group[start:start + chunk_queries]
+                chunk = [constraint_lists[i] for i in idx]
+                cc = compile_constraints(chunk,
+                                         self.engine.model.domain_sizes)
+                result = self.engine.estimate_batch(
+                    chunk, num_samples, rng, with_error=with_error,
+                    compiled_constraints=cc)
+                if with_error:
+                    out[idx], errs[idx] = result
+                else:
+                    out[idx] = result
+        if with_error:
+            return out, errs
+        return out

@@ -127,15 +127,18 @@ class UAEJoin:
         return float(max(sel, 0.0) * self.join_size)
 
     def estimate_many(self, queries: list[JoinQuery],
-                      batch_queries: int = 8) -> np.ndarray:
-        out = np.empty(len(queries), dtype=np.float64)
-        for start in range(0, len(queries), batch_queries):
-            chunk = queries[start:start + batch_queries]
-            constraints = [self._constraints(q) for q in chunk]
-            sels = self.uae.sampler.estimate_batch(constraints)
-            out[start:start + len(chunk)] = np.maximum(sels, 0.0) \
-                * self.join_size
-        return out
+                      batch_queries: int | None = None) -> np.ndarray:
+        """Batched join estimation through the engine's scheduler.
+
+        The fanout-scaled constraint lists are grouped by queried-column
+        signature like single-table queries — scaled columns count as
+        queried, so a group shares both its predicate columns and its
+        downscaling columns.
+        """
+        constraints = [self._constraints(q) for q in queries]
+        sels = self.uae.estimate_constraints_many(constraints,
+                                                  batch_queries=batch_queries)
+        return np.maximum(sels, 0.0) * self.join_size
 
     def size_bytes(self) -> int:
         return self.uae.size_bytes()

@@ -30,6 +30,27 @@ def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
+def log_softmax_np(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax for plain numpy arrays.
+
+    The inference paths (uniform sampling, numpy NLL evaluation) all need
+    the same shifted-``exp``/``log`` composition; this is the single shared
+    implementation.
+    """
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    norm = np.exp(shifted).sum(axis=axis, keepdims=True)
+    shifted -= np.log(norm)
+    return shifted
+
+
+def softmax_np(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax for plain numpy arrays."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
+
+
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Mean negative log-likelihood of integer ``targets`` under ``logits``.
 

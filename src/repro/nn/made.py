@@ -204,24 +204,22 @@ class ResMADE(Module):
 
     def column_logits_from_hidden(self, h: Tensor, col: int) -> Tensor:
         """Project hidden state to just column ``col``'s logits."""
-        sl = self.logit_slices[col]
-        w = (self.output_layer.weight * Tensor(self.output_layer.mask))[sl]
-        return h.relu() @ w.T + self.output_layer.bias[sl]
+        return self.output_layer.forward_rows(h.relu(), self.logit_slices[col])
 
     def hidden_np(self, x: np.ndarray) -> np.ndarray:
-        h = x @ (self.input_layer.weight.data * self.input_layer.mask).T
+        h = x @ self.input_layer.fused_weight_t()
         h += self.input_layer.bias.data
         for block in self.blocks:
             a = np.maximum(h, 0.0)
-            a = a @ (block.fc1.weight.data * block.fc1.mask).T + block.fc1.bias.data
-            a = np.maximum(a, 0.0)
-            a = a @ (block.fc2.weight.data * block.fc2.mask).T + block.fc2.bias.data
+            a = a @ block.fc1.fused_weight_t() + block.fc1.bias.data
+            np.maximum(a, 0.0, out=a)
+            a = a @ block.fc2.fused_weight_t() + block.fc2.bias.data
             h = h + a
         return h
 
     def column_logits_np(self, h: np.ndarray, col: int) -> np.ndarray:
         sl = self.logit_slices[col]
-        w = (self.output_layer.weight.data * self.output_layer.mask)[sl]
+        w = self.output_layer.fused_weight()[sl]
         return np.maximum(h, 0.0) @ w.T + self.output_layer.bias.data[sl]
 
     # ------------------------------------------------------------------
@@ -229,26 +227,17 @@ class ResMADE(Module):
     # ------------------------------------------------------------------
     def forward_np(self, x: np.ndarray) -> np.ndarray:
         """Pure-numpy forward for inference-time progressive sampling."""
-        h = x @ (self.input_layer.weight.data * self.input_layer.mask).T
-        h += self.input_layer.bias.data
-        for block in self.blocks:
-            a = np.maximum(h, 0.0)
-            a = a @ (block.fc1.weight.data * block.fc1.mask).T + block.fc1.bias.data
-            a = np.maximum(a, 0.0)
-            a = a @ (block.fc2.weight.data * block.fc2.mask).T + block.fc2.bias.data
-            h = h + a
-        h = np.maximum(h, 0.0)
-        return h @ (self.output_layer.weight.data * self.output_layer.mask).T \
+        h = np.maximum(self.hidden_np(x), 0.0)
+        return h @ self.output_layer.fused_weight_t() \
             + self.output_layer.bias.data
 
     def nll_np(self, codes: np.ndarray) -> np.ndarray:
         """Per-row negative log-likelihood (numpy, for evaluation)."""
+        from .functional import log_softmax_np
         x = self.encode_tuples(codes)
         logits = self.forward_np(x)
         total = np.zeros(len(codes), dtype=np.float64)
         for c in range(self.num_cols):
-            lg = self.logits_for_np(logits, c)
-            lg = lg - lg.max(axis=1, keepdims=True)
-            logp = lg - np.log(np.exp(lg).sum(axis=1, keepdims=True))
+            logp = log_softmax_np(self.logits_for_np(logits, c))
             total -= logp[np.arange(len(codes)), codes[:, c]]
         return total

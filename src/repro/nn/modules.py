@@ -61,6 +61,7 @@ class Module:
             raise KeyError(f"state dict missing keys: {sorted(missing)}")
         for key, tensor_ref in self._iter_named_params(""):
             tensor_ref.data = np.array(state[key], dtype=np.float32)
+            tensor_ref.bump_version()
 
     def _collect_state(self, prefix: str, out: dict[str, np.ndarray]) -> None:
         for key, tensor_ref in self._iter_named_params(prefix):
@@ -112,6 +113,12 @@ class MaskedLinear(Module):
 
     The mask enforces MADE's autoregressive property: entry ``[o, i]`` is 1
     iff output unit ``o`` may depend on input unit ``i``.
+
+    The fused product ``weight * mask`` is cached (together with its
+    transpose) and invalidated through the weight tensor's version counter,
+    which optimizer steps and checkpoint loads bump — so neither the
+    training forward nor the numpy inference paths pay the elementwise
+    multiply on every call.
     """
 
     def __init__(self, in_features: int, out_features: int,
@@ -124,6 +131,9 @@ class MaskedLinear(Module):
         self.bias = (Tensor(init.zeros((out_features,)), requires_grad=True)
                      if bias else None)
         self.mask = np.ones((out_features, in_features), dtype=np.float32)
+        self._fused: np.ndarray | None = None
+        self._fused_t: np.ndarray | None = None
+        self._fused_version = -1
 
     def set_mask(self, mask: np.ndarray) -> None:
         if mask.shape != (self.out_features, self.in_features):
@@ -131,13 +141,75 @@ class MaskedLinear(Module):
                 f"mask shape {mask.shape} != "
                 f"({self.out_features}, {self.in_features})")
         self.mask = mask.astype(np.float32)
+        self._fused = None
+        self._fused_version = -1
+
+    def _refresh_fused(self) -> None:
+        if self._fused is None or self._fused_version != self.weight.version:
+            self._fused = np.ascontiguousarray(self.weight.data * self.mask)
+            self._fused_t = np.ascontiguousarray(self._fused.T)
+            self._fused_version = self.weight.version
+
+    def fused_weight(self) -> np.ndarray:
+        """``weight.data * mask`` — ``[out, in]``, contiguous, cached."""
+        self._refresh_fused()
+        return self._fused
+
+    def fused_weight_t(self) -> np.ndarray:
+        """Transposed fused weight — ``[in, out]``, contiguous, cached."""
+        self._refresh_fused()
+        return self._fused_t
 
     def forward(self, x: Tensor) -> Tensor:
-        masked = self.weight * Tensor(self.mask)
-        out = x @ masked.T
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return self.forward_rows(x, slice(None))
+
+    def forward_rows(self, x: Tensor, rows: slice) -> Tensor:
+        """Affine map restricted to output units ``rows``.
+
+        Forward uses the cached fused weight; backward applies the mask to
+        the weight gradient directly — identical math to multiplying
+        ``weight * mask`` inside the graph, without the per-call product.
+        The fast closure assumes the usual ``[batch, features]`` input;
+        higher-rank inputs take the explicit graph (general broadcasting
+        gradients).
+        """
+        if x.ndim != 2:
+            masked = (self.weight * Tensor(self.mask))[rows]
+            out = x @ masked.T
+            if self.bias is not None:
+                out = out + self.bias[rows]
+            return out
+        fused = self.fused_weight()[rows]
+        data = x.data @ fused.T
+        bias = self.bias
+        if bias is not None:
+            data = data + bias.data[rows]
+        layer, weight = self, self.weight
+        parents = (x, weight) if bias is None else (x, weight, bias)
+
+        def make(out: Tensor):
+            def backward():
+                if x.requires_grad:
+                    x._accumulate(out.grad @ fused)
+                if weight.requires_grad:
+                    rows_grad = (out.grad.T @ x.data) * layer.mask[rows]
+                    if rows == slice(None):
+                        grad_w = rows_grad
+                    else:
+                        grad_w = np.zeros_like(weight.data)
+                        grad_w[rows] = rows_grad
+                    weight._accumulate(grad_w)
+                if bias is not None and bias.requires_grad:
+                    rows_grad = out.grad.sum(axis=0)
+                    if rows == slice(None):
+                        grad_b = rows_grad
+                    else:
+                        grad_b = np.zeros_like(bias.data)
+                        grad_b[rows] = rows_grad
+                    bias._accumulate(grad_b)
+            return backward
+
+        return Tensor._make(data, parents, make)
 
 
 class ReLU(Module):

@@ -46,6 +46,7 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data -= self.lr * grad
+            p.bump_version()
 
 
 class Adam(Optimizer):
@@ -84,3 +85,4 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.bump_version()

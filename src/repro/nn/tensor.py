@@ -58,7 +58,8 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor that records operations for backpropagation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name",
+                 "version")
 
     def __init__(self, data, requires_grad: bool = False, _prev: Sequence["Tensor"] = (),
                  name: str = ""):
@@ -68,6 +69,16 @@ class Tensor:
         self._backward: Callable[[], None] | None = None
         self._prev: tuple[Tensor, ...] = tuple(_prev)
         self.name = name
+        # Monotonic counter bumped whenever ``data`` is mutated in place
+        # (optimizer steps, checkpoint loads).  Caches derived from the
+        # parameter value — fused masked weights, compiled inference
+        # models — compare versions instead of array contents.  Code that
+        # mutates ``data`` directly must call :meth:`bump_version`.
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Mark ``data`` as mutated so value-derived caches invalidate."""
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Basic properties

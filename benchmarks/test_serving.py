@@ -1,0 +1,19 @@
+"""End-to-end serving benchmark (BENCH_serve.json).
+
+Slow-marked: the full loop trains, serves, drifts, refines, and
+hot-swaps.  Run with ``pytest -m slow benchmarks/test_serving.py`` or via
+``python -m repro.bench serving``.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.bench.serve_bench import run_serving
+
+
+@pytest.mark.slow
+def test_serving_loop(benchmark, profile):
+    result = run_experiment(benchmark, "serving", run_serving, profile)
+    assert all(result["checks"].values()), result["checks"]
+    assert result["service"]["failures"] == 0
+    assert result["qerr_improvement"] >= 1.0

@@ -1,11 +1,14 @@
 """Benchmark harness regenerating every table and figure of the paper."""
 
-from .experiments import EXPERIMENTS, run_incremental, run_joins, run_single_table
-from .profiles import BENCH, PAPER, PROFILES, SMALL, Profile, current_profile
+from .experiments import (EXPERIMENTS, run_incremental, run_joins,
+                          run_serving, run_single_table)
+from .profiles import (BENCH, CI, PAPER, PROFILES, SMALL, Profile,
+                       current_profile)
 from .reporting import format_table, save_json
 
 __all__ = [
     "EXPERIMENTS", "run_single_table", "run_joins", "run_incremental",
-    "Profile", "PROFILES", "SMALL", "BENCH", "PAPER", "current_profile",
-    "format_table", "save_json",
+    "run_serving",
+    "Profile", "PROFILES", "CI", "SMALL", "BENCH", "PAPER",
+    "current_profile", "format_table", "save_json",
 ]

@@ -43,9 +43,22 @@ def main(argv: list[str] | None = None) -> int:
               f"try 'list'", file=sys.stderr)
         return 2
 
+    failed: list[str] = []
     for name in names:
         start = time.perf_counter()
-        result = EXPERIMENTS[name](profile)
+        try:
+            result = EXPERIMENTS[name](profile)
+        except Exception as exc:
+            # A single experiment run is a gate (CI smoke) — propagate.
+            # In an `all` sweep, report and keep going so one timing
+            # blip doesn't discard every experiment after it.
+            if len(names) == 1:
+                raise
+            print(f"[{name} FAILED after "
+                  f"{time.perf_counter() - start:.1f}s: {exc}]\n",
+                  file=sys.stderr)
+            failed.append(name)
+            continue
         elapsed = time.perf_counter() - start
         print(format_table(result["rows"], result["columns"],
                            title=result["title"]))
@@ -53,6 +66,9 @@ def main(argv: list[str] | None = None) -> int:
         path = save_json(name, {k: v for k, v in result.items()
                                 if k not in ("speedups",)})
         print(f"saved {path}\n")
+    if failed:
+        print(f"failed experiments: {failed}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -694,8 +694,15 @@ def run_infer_latency(profile: Profile | None = None) -> dict:
     return _run(profile)
 
 
+def run_serving(profile: Profile | None = None) -> dict:
+    """Online serving scenario (writes BENCH_serve.json)."""
+    from .serve_bench import run_serving as _run
+    return _run(profile)
+
+
 EXPERIMENTS = {
     "latency": run_infer_latency,
+    "serving": run_serving,
     "table1": capability_matrix,
     "sub_baselines": run_sub_baselines,
     "ablation_ensemble": ablation_ensemble,

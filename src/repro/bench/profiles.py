@@ -2,9 +2,10 @@
 
 The paper ran on a Tesla V100 with 11.6M-row DMV and 20K training queries;
 this reproduction runs on one CPU core, so every experiment is scaled down
-while keeping the *relative* comparisons intact (DESIGN.md).  Three
+while keeping the *relative* comparisons intact (DESIGN.md).  Four
 profiles:
 
+* ``ci``     — smallest; the CI smoke jobs (serving loop end to end).
 * ``small``  — seconds; used by the test suite's integration checks.
 * ``bench``  — default for ``pytest benchmarks/``; minutes.
 * ``paper``  — closest to the paper's settings; hours on CPU.
@@ -42,6 +43,7 @@ class Profile:
     incremental_parts: int = 5
     incremental_train: int = 80
     incremental_test: int = 30
+    serve_stream_queries: int = 160  # steady-phase serving-bench stream
     mscn_epochs: int = 60
     kde_budget_divisor: int = 1     # sample budget = uae_size / divisor
 
@@ -56,6 +58,19 @@ class Profile:
         return {"dmv": 0.002, "census": 0.09, "kddcup": 0.046}.get(name, 0.05)
 
 
+CI = Profile(
+    name="ci",
+    rows={"dmv": 1500, "census": 1200, "kddcup": 1000, "toy": 800},
+    train_queries=40, test_queries=16, epochs=2, query_epochs=4,
+    hidden=32, num_blocks=1, est_samples=32, dps_samples=4,
+    batch_size=256, query_batch_size=8,
+    join_titles=400, join_sample=1500, join_train_queries=20,
+    join_test_queries=8, join_epochs=1, optimizer_queries=4,
+    incremental_parts=2, incremental_train=24, incremental_test=12,
+    serve_stream_queries=40,
+    mscn_epochs=10,
+)
+
 SMALL = Profile(
     name="small",
     rows={"dmv": 3000, "census": 2500, "kddcup": 2000, "toy": 1500},
@@ -65,6 +80,7 @@ SMALL = Profile(
     join_titles=800, join_sample=3000, join_train_queries=40,
     join_test_queries=15, join_epochs=2, optimizer_queries=8,
     incremental_parts=3, incremental_train=30, incremental_test=12,
+    serve_stream_queries=64,
     mscn_epochs=20,
 )
 
@@ -87,10 +103,11 @@ PAPER = Profile(
     join_titles=20_000, join_sample=100_000, join_train_queries=10_000,
     join_test_queries=1000, join_epochs=20, optimizer_queries=50,
     incremental_train=4000, incremental_test=200,
+    serve_stream_queries=512,
     mscn_epochs=100,
 )
 
-PROFILES = {"small": SMALL, "bench": BENCH, "paper": PAPER}
+PROFILES = {"ci": CI, "small": SMALL, "bench": BENCH, "paper": PAPER}
 
 
 def current_profile() -> Profile:

@@ -1,0 +1,345 @@
+"""End-to-end serving benchmark: Section 4.5's incremental scenario live.
+
+Drives the :mod:`repro.serve` subsystem through four phases:
+
+1. **steady** — sustained in-distribution traffic (with realistic query
+   repetition) through the micro-batching service; measures q/s and
+   p50/p99 latency, and times the same stream through plain engine
+   batching as the no-serving-layer baseline;
+2. **shifted** — the table grows by 40% (new rows skewed to one region,
+   the ``incremental_data`` setup) and the workload shifts onto the new
+   region; the stale model's rolling q-error degrades past the drift
+   threshold;
+3. **hot-swap** — the drift-triggered refinement (staged data ingestion
+   + query feedback, both halves of Section 4.5) runs in the background
+   while the foreground keeps serving; the swap must lose zero estimates,
+   and answers must stay bit-identical to their snapshot's reference
+   before *and* after;
+4. **post-swap** — the shifted traffic again, on the refined model: the
+   rolling q-error must improve.
+
+``python -m repro.bench serving --profile bench`` writes the
+``BENCH_serve.json`` artifact; ``--profile ci`` is the tiny smoke profile
+the CI workflow gates on.  Violated invariants raise ``RuntimeError`` so
+the process exits non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from ..core import UAE
+from ..data import Table, load
+from ..serve import FeedbackCollector, UAEServer
+from ..workload import WorkloadConfig, generate_inworkload, summarize
+from .profiles import Profile, current_profile
+from .reporting import RESULTS_DIR
+
+BENCH_SERVE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(RESULTS_DIR)), "BENCH_serve.json")
+BENCH_INFER_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(RESULTS_DIR)), "BENCH_infer.json")
+
+_REPEAT_FRACTION = 0.35     # fraction of the stream that re-asks hot queries
+_WAVE = 64                  # closed-loop submission window
+_PROBES = 12                # consistency probe set size
+_SEED = 1234                # pinned sampling seed for bit-identity checks
+_SPLIT = 0.6                # initial fraction of the table; rest arrives live
+
+
+def _zipf_stream(queries: list, n_total: int,
+                 rng: np.random.Generator) -> list:
+    """A serving stream with skewed repetition over a base query set."""
+    n_unique = max(1, int(round(n_total * (1.0 - _REPEAT_FRACTION))))
+    base = list(queries[:n_unique])
+    stream = list(base)
+    weights = 1.0 / np.arange(1, len(base) + 1, dtype=np.float64)
+    weights /= weights.sum()
+    hot = rng.choice(len(base), size=n_total - len(base), p=weights)
+    stream.extend(base[i] for i in hot)
+    perm = rng.permutation(len(stream))
+    return [stream[i] for i in perm]
+
+
+def _serve_stream(server: UAEServer, stream: list) -> tuple[float, list]:
+    """Closed-loop drive through the micro-batching worker; returns
+    (elapsed_seconds, results in stream order)."""
+    results = []
+    start = time.perf_counter()
+    for lo in range(0, len(stream), _WAVE):
+        requests = [server.submit(q) for q in stream[lo:lo + _WAVE]]
+        results.extend(r.result(timeout=120.0) for r in requests)
+    return time.perf_counter() - start, results
+
+
+def _phase_latency(server: UAEServer, n_requests: int) -> dict[str, float]:
+    """Quantiles over the last ``n_requests`` served (the phase just run;
+    robust to the bounded latency deque having rotated)."""
+    arr = np.fromiter(server.service.latencies.copy(), dtype=np.float64)
+    arr = arr[-min(len(arr), n_requests):]
+    if arr.size == 0:
+        return {"p50_ms": 0.0, "p99_ms": 0.0}
+    return {"p50_ms": float(np.percentile(arr, 50) * 1e3),
+            "p99_ms": float(np.percentile(arr, 99) * 1e3)}
+
+
+def run_serving(profile: Profile | None = None,
+                write_artifact: bool = True) -> dict:
+    """The serving scenario; returns the usual experiment dict."""
+    profile = profile or current_profile()
+    rng = np.random.default_rng(2024)
+
+    # The table starts at 60% of its rows (sorted by the first column, as
+    # in the ``incremental_data`` experiment); the rest arrives mid-run.
+    full = load("dmv", rows=profile.dataset_rows("dmv"), seed=0)
+    order = np.argsort(full.codes[:, 0], kind="stable")
+    split = int(_SPLIT * full.num_rows)
+    base = Table(full.name, full.columns, full.codes[order[:split]])
+    new_rows = full.codes[order[split:]]
+    col0 = full.columns[0]
+    c_star = int(full.codes[order[split], 0])
+
+    # Data-only pretraining on the initial table: the model has never
+    # seen query feedback, so the shifted phase exercises exactly the
+    # paper's Section 4.5 loop.
+    uae = UAE(base, hidden=profile.hidden, num_blocks=profile.num_blocks,
+              est_samples=profile.est_samples,
+              dps_samples=max(16, profile.dps_samples),
+              batch_size=profile.batch_size,
+              query_batch_size=profile.query_batch_size, seed=0)
+    uae.fit(epochs=max(2, profile.epochs // 3), mode="data")
+
+    n_stream = profile.serve_stream_queries
+    steady = generate_inworkload(base, n_stream, rng)
+    truth_of = dict(zip(steady.queries, steady.cardinalities))
+    stream = _zipf_stream(steady.queries, n_stream, rng)
+
+    # Shifted workload: bounded on the insert region of the sort column,
+    # truths against the *grown* table — the stale model is systematically
+    # wrong there.
+    lo_rel = min(0.95, c_star / max(col0.size - 1, 1) + 0.02)
+    shift_cfg = WorkloadConfig(center_range=(lo_rel, 1.0),
+                               bounded_volume=0.08,
+                               num_filters_min=2, num_filters_max=5)
+    # Floor of 64: the drift decision quantiles a rolling window of this
+    # stream, and fewer observations make the p90 too noisy to gate on.
+    n_shift = max(64, profile.incremental_train)
+    shift_fb = generate_inworkload(full, n_shift, rng,
+                                   bounded_column=col0.name, cfg=shift_cfg)
+    shift_test = generate_inworkload(full, profile.incremental_test, rng,
+                                     bounded_column=col0.name, cfg=shift_cfg)
+
+    feedback = FeedbackCollector(
+        window=max(64, n_shift), capacity=2 * n_shift,
+        min_observations=min(32, n_shift), quantile=0.9, threshold=3.0)
+    server = UAEServer(uae, feedback=feedback, refine_epochs=12,
+                       data_epochs=3, max_batch=32, max_wait_ms=2.0, seed=7)
+    rows: list[dict] = []
+    checks: dict[str, bool] = {}
+
+    probes = steady.queries[:_PROBES]
+    with server:
+        # ----------------------------------------------------------
+        # Pre-swap consistency: service answers == snapshot reference.
+        v1 = server.registry.active()
+        svc_pre = server.estimate_batch(probes, seed=_SEED, use_cache=False)
+        svc_pre_again = server.estimate_batch(probes, seed=_SEED,
+                                              use_cache=False)
+        ref_pre = server.service.estimate_on(v1, probes, seed=_SEED)
+        checks["pre_swap_bit_identical"] = bool(
+            np.array_equal(svc_pre, ref_pre)
+            and np.array_equal(svc_pre, svc_pre_again))
+
+        # ----------------------------------------------------------
+        # Phase 1: steady traffic through the micro-batching worker.
+        server.estimate_batch(steady.queries[:8])  # warm engine + caches
+        elapsed, results = _serve_stream(server, stream)
+        serving_qps = len(stream) / elapsed
+        steady_truths = np.array([truth_of[q] for q in stream])
+        steady_err = summarize(np.array(results), steady_truths)
+        for q, est, tru in zip(stream, results, steady_truths):
+            server.feedback.record(q, est, tru)
+        rows.append({"phase": "steady", "queries": len(stream),
+                     "qps": serving_qps,
+                     **_phase_latency(server, len(stream)),
+                     "qerr_mean": steady_err.mean,
+                     "qerr_p95": steady_err.p95,
+                     "version": server.registry.version})
+
+        # Plain engine batching over the identical stream: the
+        # no-serving-subsystem baseline (chunked estimate_batch, as in
+        # the BENCH_infer latency bench).
+        sampler = v1.model.sampler
+        constraints = [v1.model.fact.expand_masks(q.masks(base))
+                       for q in stream]
+        start = time.perf_counter()
+        for lo in range(0, len(constraints), 8):
+            sampler.estimate_batch(constraints[lo:lo + 8])
+        engine_qps = len(stream) / (time.perf_counter() - start)
+
+        # Drift threshold: degradation relative to the steady state
+        # (1.25x the steady p90, floored — the shifted phase degrades the
+        # tail well past this; steady traffic stays under it).
+        steady_p90 = server.feedback.monitor.quantile(0.9)
+        server.feedback.threshold = max(2.5, 1.25 * steady_p90)
+        checks["steady_no_refine"] = not server.feedback.should_refine()
+
+        # ----------------------------------------------------------
+        # Phase 2: 40% of the table arrives (staged for the next
+        # refinement; stale feedback labels are dropped), and the
+        # workload shifts onto the new region.
+        server.stage_data(new_rows)
+        shifted_elapsed, shift_est = _serve_stream(server, shift_fb.queries)
+        for q, est, tru in zip(shift_fb.queries, shift_est,
+                               shift_fb.cardinalities):
+            server.feedback.record(q, est, tru)
+        before = summarize(np.array(shift_est), shift_fb.cardinalities)
+        heldout_before = summarize(
+            server.estimate_batch(shift_test.queries, seed=_SEED + 1),
+            shift_test.cardinalities)
+        drift = server.feedback.drift()
+        checks["drift_triggered"] = server.feedback.should_refine()
+        rows.append({"phase": "shifted", "queries": len(shift_fb),
+                     "qps": len(shift_fb) / shifted_elapsed,
+                     **_phase_latency(server, len(shift_fb)),
+                     "qerr_mean": before.mean, "qerr_p95": before.p95,
+                     "version": server.registry.version})
+
+        # ----------------------------------------------------------
+        # Phase 3: background refinement + hot-swap under live traffic.
+        # The swap stream uses *fresh* queries (nothing cached), so both
+        # the outgoing and the incoming snapshot serve real engine work.
+        swap_wl = generate_inworkload(full, min(64, n_stream), rng)
+        failures_before = server.service.failures
+        refine_thread = server.refine(background=True)
+        swap_served = 0
+        swap_versions: set[int] = set()
+        while refine_thread is not None and refine_thread.is_alive():
+            request = server.submit(
+                swap_wl.queries[swap_served % len(swap_wl.queries)])
+            request.result(timeout=120.0)
+            swap_versions.add(request.version)
+            swap_served += 1
+            if request.from_cache:
+                # Once the rotation is fully cached the loop would spin
+                # at memory speed, starving the refinement thread it is
+                # waiting on; pace like a real client instead.
+                time.sleep(0.001)
+        server.join_refinement()
+        # One more wave after the swap so the new version shows up even
+        # when refinement finishes between foreground requests.
+        for q in probes:
+            req = server.submit(q)
+            req.result(timeout=120.0)
+            swap_versions.add(req.version)
+            swap_served += 1
+        checks["swap_zero_failed"] = \
+            server.service.failures == failures_before
+        checks["swap_spans_versions"] = len(swap_versions) >= 2 \
+            and server.registry.version in swap_versions
+        # No qps/latency/q-error cells: the swap stream is paced load,
+        # not a measurement (and NaN would corrupt the JSON artifact).
+        rows.append({"phase": "hot-swap", "queries": swap_served,
+                     "version": server.registry.version})
+
+        # ----------------------------------------------------------
+        # Post-swap consistency + accuracy on the shifted traffic.
+        v2 = server.registry.active()
+        svc_post = server.estimate_batch(probes, seed=_SEED, use_cache=False)
+        ref_post = server.service.estimate_on(v2, probes, seed=_SEED)
+        checks["post_swap_bit_identical"] = bool(
+            np.array_equal(svc_post, ref_post))
+        old = server.registry.get(v1.version)
+        checks["old_version_reproducible"] = old is not None and bool(
+            np.array_equal(server.service.estimate_on(old, probes,
+                                                      seed=_SEED), svc_pre))
+        checks["weights_actually_swapped"] = not np.array_equal(svc_pre,
+                                                                svc_post)
+
+        post_elapsed, after_est = _serve_stream(server, shift_fb.queries)
+        after = summarize(np.array(after_est), shift_fb.cardinalities)
+        heldout_after = summarize(
+            server.estimate_batch(shift_test.queries, seed=_SEED + 1),
+            shift_test.cardinalities)
+        rows.append({"phase": "post-swap shifted",
+                     "queries": len(shift_fb),
+                     "qps": len(shift_fb) / post_elapsed,
+                     **_phase_latency(server, len(shift_fb)),
+                     "qerr_mean": after.mean, "qerr_p95": after.p95,
+                     "version": server.registry.version})
+
+        improvement = before.mean / max(after.mean, 1e-9)
+        checks["qerror_improves"] = after.mean <= before.mean
+        checks["zero_failures"] = server.service.failures == 0
+        p99 = rows[0]["p99_ms"]
+        checks["latency_sane"] = p99 < 2000.0
+        qps_floor = 0.9 if profile.name == "ci" else 1.0
+        checks["throughput_beats_engine"] = \
+            serving_qps >= qps_floor * engine_qps
+        stats = server.stats()
+
+    infer_reference = None
+    if os.path.exists(BENCH_INFER_PATH):
+        try:
+            with open(BENCH_INFER_PATH) as fh:
+                infer_reference = json.load(fh).get("engine_qps")
+        except (OSError, ValueError):
+            pass
+
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "profile": profile.name,
+        "dataset": "dmv",
+        "num_rows": full.num_rows,
+        "initial_rows": base.num_rows,
+        "num_samples": profile.est_samples,
+        "stream_queries": len(stream),
+        "repeat_fraction": _REPEAT_FRACTION,
+        "serving_qps": serving_qps,
+        "engine_qps_baseline": engine_qps,
+        "infer_bench_engine_qps": infer_reference,
+        "p50_ms": rows[0]["p50_ms"],
+        "p99_ms": rows[0]["p99_ms"],
+        "drift_at_trigger": drift,
+        "drift_threshold": server.feedback.threshold,
+        "qerr_shifted_before": before.row(),
+        "qerr_shifted_after": after.row(),
+        "qerr_heldout_before": heldout_before.row(),
+        "qerr_heldout_after": heldout_after.row(),
+        "qerr_improvement": improvement,
+        "swap_served": swap_served,
+        "swap_versions": sorted(swap_versions),
+        "refinements": server.refinements,
+        "service": stats["service"],
+        "checks": checks,
+        "rows": rows,
+    }
+    if write_artifact:
+        try:
+            with open(BENCH_SERVE_PATH, "w") as fh:
+                json.dump(payload, fh, indent=2)
+        except OSError as exc:  # never discard timed results over a write
+            print(f"warning: could not write {BENCH_SERVE_PATH}: {exc}")
+
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed:
+        raise RuntimeError(
+            f"serving bench invariants violated: {failed} "
+            f"[drift {drift:.2f} vs threshold "
+            f"{server.feedback.threshold:.2f}; shifted q-error mean "
+            f"{before.mean:.2f} -> {after.mean:.2f}; serving "
+            f"{serving_qps:.0f} q/s vs engine {engine_qps:.0f} q/s; "
+            f"p99 {p99:.1f} ms; failures {server.service.failures}]; see "
+            f"{BENCH_SERVE_PATH if write_artifact else 'payload'}")
+
+    return {"title": "Online serving: micro-batched estimates, hot-swap, "
+                     f"feedback refinement (DMV, profile={profile.name})",
+            "columns": ["phase", "queries", "qps", "p50_ms", "p99_ms",
+                        "qerr_mean", "qerr_p95", "version"],
+            "rows": rows,
+            **{k: v for k, v in payload.items() if k != "rows"}}

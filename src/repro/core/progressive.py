@@ -108,9 +108,11 @@ class ProgressiveSampler:
         """Estimates for a large query mix, scheduled by signature.
 
         Unlike :meth:`estimate_batch` — which runs every query through the
-        union of the batch's queried columns — grouped execution gives each
-        query exactly its own autoregressive steps, matching the
-        single-query code path.
+        union of the batch's queried columns — signature groups execute
+        only their own autoregressive steps.  Groups below the
+        scheduler's ``min_group_size`` are coalesced into mixed batches
+        for throughput; configure the scheduler with ``min_group_size=1``
+        when exact single-query-path execution matters more.
         """
         if self.backend == "engine":
             return self.scheduler.estimate_many(

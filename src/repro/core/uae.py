@@ -79,14 +79,20 @@ class UAE(TrainableEstimator):
         self.rng = np.random.default_rng(config.seed)
         self.fact = ColumnFactorization(table, threshold=config.factor_threshold,
                                         bits=config.factor_bits)
-        order = self._build_order(config.column_order)
+        self._init_model_stack(self._build_order(config.column_order))
+        self.model_codes = self.fact.encode_rows(table.codes)
+        self.history: list[dict[str, float]] = []
+
+    def _init_model_stack(self, order: list[int] | None) -> None:
+        """Model, optimizer, and samplers (shared by ``__init__`` and the
+        lightweight :meth:`snapshot` path)."""
+        config = self.config
         self.model = ResMADE(self.fact.model_domains, hidden=config.hidden,
                              num_blocks=config.num_blocks, rng=self.rng,
                              encoding=config.encoding,
                              embedding_threshold=config.embedding_threshold,
                              embedding_dim=config.embedding_dim,
                              order=order)
-        self.model_codes = self.fact.encode_rows(table.codes)
         self.optimizer = Adam(self.model.parameters(), lr=config.lr,
                               grad_clip=config.grad_clip)
         self.sampler = ProgressiveSampler(self.model,
@@ -98,7 +104,6 @@ class UAE(TrainableEstimator):
         self.sf = ScoreFunctionSampler(self.model,
                                        num_samples=config.dps_samples,
                                        seed=config.seed + 2)
-        self.history: list[dict[str, float]] = []
 
     def _build_order(self, strategy: str) -> list[int] | None:
         """Column-ordering strategies (paper Section 4.2 / Naru, MADE).
@@ -328,6 +333,8 @@ class UAE(TrainableEstimator):
         only the autoregressive steps it needs; ``batch_queries`` caps the
         per-call group size (default: the scheduler's row budget).
         """
+        if not queries:
+            return np.zeros(0, dtype=np.float64)
         constraints = [self.fact.expand_masks(q.masks(self.table))
                        for q in queries]
         sels = self.estimate_constraints_many(constraints,
@@ -338,10 +345,15 @@ class UAE(TrainableEstimator):
                                   batch_queries: int | None = None
                                   ) -> np.ndarray:
         """Scheduled selectivity estimates for raw constraint lists."""
+        if not constraint_lists:
+            return np.zeros(0, dtype=np.float64)
         if batch_queries is not None and self.sampler.backend == "engine":
-            scheduler = type(self.sampler.scheduler)(
+            base = self.sampler.scheduler
+            scheduler = type(base)(
                 self.sampler.engine,
-                max_rows=batch_queries * self.sampler.num_samples)
+                max_rows=batch_queries * self.sampler.num_samples,
+                min_group_size=base.min_group_size,
+                coalesce_rows=base.coalesce_rows)
             return scheduler.estimate_many(
                 constraint_lists, self.sampler.num_samples, self.sampler.rng)
         return self.sampler.estimate_many(constraint_lists)
@@ -432,6 +444,50 @@ class UAE(TrainableEstimator):
         other = UAE(self.table, self.config, **overrides)
         other.model.load_state_dict(self.model.state_dict())
         return other
+
+    def snapshot(self) -> "UAE":
+        """Detached serving copy with a warm compiled engine.
+
+        The hook behind :class:`repro.serve.ModelRegistry`'s hot-swap:
+        the copy owns its weights (``load_state_dict`` deep-copies and
+        bumps parameter versions, see :mod:`repro.infer.compiled`), so
+        continued training on this estimator can never corrupt or stale
+        an estimate in flight on the snapshot.  Unlike :meth:`clone`, the
+        immutable data artifacts — ``table``, the factorization, and the
+        encoded ``model_codes`` — are *shared*, not rebuilt: publishing a
+        snapshot costs O(weights), not O(rows), and the registry's
+        retained versions do not each hold an encoded table copy
+        (``ingest_data`` replaces rather than mutates those objects, so
+        sharing is safe).  The engine is compiled eagerly so the first
+        estimate after a swap pays no rebuild.
+        """
+        import copy
+        snap = copy.copy(self)
+        snap.rng = np.random.default_rng(self.config.seed)
+        # Fresh model stack with the trainer's realized column order
+        # (preserves "random"-order models), then adopt the weights.
+        snap._init_model_stack(list(self.model.order))
+        snap.model.load_state_dict(self.model.state_dict())
+        snap.history = list(self.history)
+        snap.sampler.engine.compiled.ensure_current()
+        return snap
+
+    def swap_weights(self, state: dict[str, np.ndarray]) -> "UAE":
+        """Atomically adopt a full weight set (registry rollback hook).
+
+        ``load_state_dict`` bumps every parameter version, which
+        invalidates this estimator's compiled inference caches on the
+        next use — estimates issued after the swap always see the new
+        weights.  The optimizer is rebuilt (current learning rate kept):
+        Adam moments accumulated toward the replaced weights would bias
+        the first steps after a rollback back toward the rejected
+        trajectory.
+        """
+        self.model.load_state_dict(state)
+        lr = self.optimizer.lr
+        self.optimizer = Adam(self.model.parameters(), lr=lr,
+                              grad_clip=self.config.grad_clip)
+        return self
 
     def size_bytes(self) -> int:
         return self.model.size_bytes()

@@ -1,0 +1,33 @@
+"""Online serving subsystem: the paper's incremental-ingestion loop
+(Section 4.5) run under live traffic.
+
+Five cooperating pieces (see the README's "Serving" section):
+
+* :class:`ModelRegistry` — versioned, immutable UAE snapshots with atomic
+  hot-swap; background refinement never blocks or corrupts in-flight
+  estimates (:mod:`repro.serve.registry`);
+* :class:`EstimateService` — micro-batching front-end over the inference
+  engine's :class:`~repro.infer.BatchScheduler`, with sync and
+  deadline-aware async APIs (:mod:`repro.serve.service`);
+* :class:`ResultCache` — constraint-signature result cache invalidated on
+  model-version bumps (:mod:`repro.serve.cache`);
+* :class:`FeedbackCollector` — rolling (query, true cardinality) feedback
+  plus a q-error drift monitor that decides when to refine
+  (:mod:`repro.serve.feedback`);
+* :class:`UAEServer` — the loop tying them together: serve, observe,
+  refine, publish (:mod:`repro.serve.server`).
+
+``python -m repro.serve`` drives a shifting workload through the full
+loop; ``python -m repro.bench serving`` is the benchmarked version that
+writes ``BENCH_serve.json``.
+"""
+
+from .cache import ResultCache
+from .feedback import FeedbackCollector
+from .registry import ModelRegistry, ModelVersion
+from .server import UAEServer
+from .service import EstimateRequest, EstimateService
+
+__all__ = ["ModelRegistry", "ModelVersion", "EstimateService",
+           "EstimateRequest", "ResultCache", "FeedbackCollector",
+           "UAEServer"]

@@ -1,0 +1,60 @@
+"""CLI: ``python -m repro.serve [--profile ci|small|bench|paper]``.
+
+Runs the full online-serving loop — train a data-only UAE, serve steady
+traffic through the micro-batching service, drift on a shifted workload,
+refine from feedback in the background, hot-swap, serve again — and
+prints the per-phase report.  This is the same scenario
+``python -m repro.bench serving`` benchmarks; the bench variant
+additionally writes the ``BENCH_serve.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..bench.profiles import PROFILES
+from ..bench.reporting import format_table
+from ..bench.serve_bench import run_serving
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Drive the online serving loop (registry, "
+                    "micro-batching service, cache, feedback refinement) "
+                    "over a shifting DMV workload.")
+    parser.add_argument("--profile", default="small",
+                        choices=sorted(PROFILES),
+                        help="scale profile (default: small)")
+    parser.add_argument("--no-artifact", action="store_true",
+                        help="skip writing BENCH_serve.json")
+    parser.add_argument("--json", action="store_true",
+                        help="dump the full result payload as JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        result = run_serving(PROFILES[args.profile],
+                             write_artifact=not args.no_artifact)
+    except RuntimeError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({k: v for k, v in result.items()
+                          if k not in ("rows", "columns", "title")},
+                         indent=2, default=str))
+    print(format_table(result["rows"], result["columns"],
+                       title=result["title"]))
+    print(f"\nserving {result['serving_qps']:.0f} q/s vs plain engine "
+          f"{result['engine_qps_baseline']:.0f} q/s | "
+          f"p50 {result['p50_ms']:.2f} ms, p99 {result['p99_ms']:.2f} ms | "
+          f"shifted q-error {result['qerr_shifted_before']['mean']:.3g} -> "
+          f"{result['qerr_shifted_after']['mean']:.3g} after hot-swap "
+          f"(x{result['qerr_improvement']:.2f})")
+    print(f"checks: {'all passed' if all(result['checks'].values()) else result['checks']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,231 @@
+"""The continuously-learning serving loop.
+
+``UAEServer`` owns one *trainer* UAE (the live weights that keep
+learning) and serves estimates exclusively from immutable registry
+snapshots of it.  The loop:
+
+1. ``estimate``/``submit``/``estimate_batch`` answer traffic from the
+   active snapshot (micro-batched, cached);
+2. ``observe`` feeds executed queries' true cardinalities into the
+   :class:`~repro.serve.feedback.FeedbackCollector`;
+3. when the rolling q-error drifts past the collector's threshold,
+   ``maintain`` (or ``refine``) drains the feedback into
+   ``UAE.ingest_queries`` on the trainer — Section 4.5's query-driven
+   refinement — and publishes a new snapshot;
+4. ``ingest_data`` does the data half: new tuples refine the trainer via
+   the data loss, then publish.
+
+Refinement can run inline (deterministic, used by tests) or in a
+background thread (``refine(background=True)``): serving continues on the
+old snapshot until the publish atomically swaps the new one in.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..core.uae import UAE
+from ..workload.predicate import LabeledWorkload, Query
+from .cache import ResultCache
+from .feedback import FeedbackCollector
+from .registry import ModelRegistry
+from .service import EstimateRequest, EstimateService
+
+
+class UAEServer:
+    """Registry + service + cache + feedback, wired into one loop."""
+
+    def __init__(self, estimator: UAE, *, feedback: FeedbackCollector | None = None,
+                 cache_capacity: int = 8192, keep_versions: int = 3,
+                 max_batch: int = 32, max_wait_ms: float = 2.0,
+                 refine_epochs: int = 8, data_epochs: int = 3,
+                 auto_refine: bool = False, seed: int = 0):
+        self.trainer = estimator
+        self.registry = ModelRegistry(estimator, keep_versions=keep_versions)
+        self.cache = ResultCache(capacity=cache_capacity)
+        self.service = EstimateService(self.registry, self.cache,
+                                       max_batch=max_batch,
+                                       max_wait_ms=max_wait_ms, seed=seed)
+        # Not `feedback or ...`: an empty collector is falsy (__len__).
+        self.feedback = feedback if feedback is not None \
+            else FeedbackCollector()
+        self.refine_epochs = int(refine_epochs)
+        self.data_epochs = int(data_epochs)
+        self.auto_refine = bool(auto_refine)
+        # Reentrant: refine() drains, spawns/calls _refine_now, and
+        # checks liveness as one atomic step, and _refine_now re-acquires
+        # on the inline path.
+        self._refine_lock = threading.RLock()
+        self._refine_thread: threading.Thread | None = None
+        self._staged_data: list[np.ndarray] = []
+        self.refinements: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def start(self) -> "UAEServer":
+        self.service.start()
+        return self
+
+    def stop(self) -> None:
+        self.join_refinement()
+        self.service.stop()
+
+    def __enter__(self) -> "UAEServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def estimate(self, query: Query,
+                 deadline_ms: float | None = None) -> float:
+        return self.service.estimate(query, deadline_ms=deadline_ms)
+
+    def submit(self, query: Query,
+               deadline_ms: float | None = None) -> EstimateRequest:
+        return self.service.submit(query, deadline_ms=deadline_ms)
+
+    def estimate_batch(self, queries: list[Query], seed: int | None = None,
+                       use_cache: bool = True) -> np.ndarray:
+        return self.service.estimate_batch(queries, seed=seed,
+                                           use_cache=use_cache)
+
+    # ------------------------------------------------------------------
+    # Feedback + continuous learning
+    # ------------------------------------------------------------------
+    def observe(self, query: Query, true_cardinality: float,
+                estimate: float | None = None) -> float:
+        """Record an executed query's truth; returns its serving q-error.
+
+        With ``auto_refine`` set, a drift past the feedback threshold
+        kicks off background refinement (at most one at a time).
+        """
+        if estimate is None:
+            estimate = self.estimate(query)
+        err = self.feedback.record(query, estimate, true_cardinality)
+        if self.auto_refine and self.feedback.should_refine() \
+                and not self.refining:
+            self.refine(background=True)
+        return err
+
+    @property
+    def refining(self) -> bool:
+        thread = self._refine_thread
+        return thread is not None and thread.is_alive()
+
+    def maintain(self) -> dict | None:
+        """One inline maintenance step: refine iff drift says so."""
+        if not self.feedback.should_refine():
+            return None
+        return self.refine()
+
+    def stage_data(self, new_codes: np.ndarray) -> None:
+        """Buffer inserted tuples for the next refinement.
+
+        Cheaper than an immediate ``ingest_data`` publish when inserts
+        trickle in: the next (drift-triggered or explicit) refinement
+        catches the model up on data and queries in one hot-swap.
+        Buffered feedback labels are dropped — cardinalities observed
+        against the pre-insert table no longer describe the data — and
+        the drift window restarts, so degradation is measured purely on
+        post-insert traffic.
+        """
+        with self._refine_lock:
+            self._staged_data.append(np.asarray(new_codes))
+        self.feedback.reset_window()
+
+    def refine(self, epochs: int | None = None,
+               background: bool = False) -> dict | threading.Thread | None:
+        """Drain feedback (and staged inserts) into Section 4.5 ingestion
+        and hot-swap.
+
+        Returns the refinement record (inline) or the running thread
+        (background); ``None`` when a refinement is already in flight or
+        there is nothing to learn from.  The liveness check, drain, and
+        thread hand-off happen atomically under the refine lock, so
+        concurrent callers cannot double-spend the same feedback, spawn
+        duplicate refinements, or publish an empty version.
+        """
+        with self._refine_lock:
+            if self.refining:
+                return None
+            workload = self.feedback.drain()
+            staged, self._staged_data = self._staged_data, []
+            if (workload is None or len(workload) == 0) and not staged:
+                return None
+            if background:
+                thread = threading.Thread(
+                    target=self._refine_now,
+                    args=(workload, staged, epochs),
+                    name="uae-refine", daemon=True)
+                self._refine_thread = thread
+                thread.start()
+                return thread
+            return self._refine_now(workload, staged, epochs)
+
+    def _refine_now(self, workload: LabeledWorkload | None,
+                    staged: list[np.ndarray],
+                    epochs: int | None) -> dict:
+        with self._refine_lock:
+            start = time.perf_counter()
+            rows = 0
+            for codes in staged:
+                self.trainer.ingest_data(codes, epochs=self.data_epochs)
+                rows += len(codes)
+            sources = ["data"] if staged else []
+            if workload is not None and len(workload) > 0:
+                self.trainer.ingest_queries(
+                    workload, epochs=epochs or self.refine_epochs)
+                sources.append("query")
+            mv = self.registry.publish(
+                self.trainer, source="+".join(sources) + "-refine")
+            record = {"version": mv.version, "source": mv.source,
+                      "queries": 0 if workload is None else len(workload),
+                      "rows": rows,
+                      "seconds": time.perf_counter() - start}
+            self.refinements.append(record)
+            return record
+
+    def join_refinement(self, timeout: float | None = None) -> None:
+        thread = self._refine_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+
+    def rollback(self, version: int) -> dict:
+        """Revert a bad refinement: re-activate a retained snapshot *and*
+        rewind the trainer's weights to it (``UAE.swap_weights`` bumps
+        parameter versions, so the trainer's own engine recompiles), so
+        the next refinement learns from the restored state rather than
+        the rejected one.
+        """
+        with self._refine_lock:
+            mv = self.registry.rollback(version)
+            self.trainer.swap_weights(mv.model.model.state_dict())
+            record = {"version": mv.version, "source": mv.source,
+                      "queries": 0, "rows": 0, "seconds": 0.0}
+            self.refinements.append(record)
+            return record
+
+    def ingest_data(self, new_codes: np.ndarray,
+                    epochs: int | None = None) -> dict:
+        """Data half of Section 4.5: refine on inserted tuples, publish."""
+        with self._refine_lock:
+            start = time.perf_counter()
+            self.trainer.ingest_data(new_codes,
+                                     epochs=epochs or self.data_epochs)
+            mv = self.registry.publish(self.trainer, source="data-refine")
+            record = {"version": mv.version, "source": mv.source,
+                      "rows": int(len(new_codes)),
+                      "seconds": time.perf_counter() - start}
+            self.refinements.append(record)
+            return record
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {"service": self.service.stats(),
+                "feedback": self.feedback.stats(),
+                "registry": self.registry.history(),
+                "refinements": list(self.refinements)}

@@ -1,0 +1,358 @@
+"""Micro-batching estimate front-end.
+
+Requests arrive one at a time (``submit`` / ``estimate``) or in bulk
+(``estimate_batch``).  Single requests are queued and flushed by a
+background worker in micro-batches — up to ``max_batch`` queries or
+``max_wait_ms`` of queueing, whichever comes first — through the
+inference engine's signature-grouping
+:class:`~repro.infer.BatchScheduler`, so a stream of independent queries
+gets the same amortised matmuls as an offline batch.  Each flush captures
+one :class:`~repro.serve.registry.ModelVersion` from the registry and
+uses it end to end: a hot-swap between flushes changes which snapshot the
+*next* flush sees, never the one in progress.
+
+Deadlines are per-request serving budgets: the worker flushes early when
+the tightest deadline in the queue is about to expire, and a request
+whose budget lapses before compute completes fails with ``TimeoutError``
+instead of silently returning late.
+
+All estimates are answered from the
+:class:`~repro.serve.cache.ResultCache` when the active model version has
+an entry for the query's constraint signature.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from ..workload.predicate import Query
+from .cache import ResultCache
+from .registry import ModelRegistry, ModelVersion
+
+
+class EstimateRequest:
+    """A single in-flight estimate; a minimal future."""
+
+    __slots__ = ("query", "constraints", "key", "deadline", "submitted_at",
+                 "completed_at", "version", "from_cache", "_event", "_value",
+                 "_error")
+
+    def __init__(self, query: Query, constraints: list, key: bytes | None,
+                 deadline: float | None):
+        self.query = query
+        self.constraints = constraints
+        self.key = key
+        self.deadline = deadline          # absolute perf_counter time
+        self.submitted_at = time.perf_counter()
+        self.completed_at: float | None = None
+        self.version: int | None = None
+        self.from_cache = False
+        self._event = threading.Event()
+        self._value: float | None = None
+        self._error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    def _complete(self, value: float, version: int,
+                  from_cache: bool = False) -> None:
+        self._value = value
+        self.version = version
+        self.from_cache = from_cache
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> float:
+        """Block until the estimate is ready; raises the request's error
+        (e.g. ``TimeoutError`` on a missed deadline)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("estimate not ready")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def latency(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+class EstimateService:
+    """Sync + deadline-aware micro-batching API over a model registry."""
+
+    def __init__(self, registry: ModelRegistry, cache: ResultCache | None = None,
+                 *, max_batch: int = 32, max_wait_ms: float = 2.0,
+                 seed: int = 0, latency_window: int = 100_000):
+        self.registry = registry
+        self.cache = cache
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1e3
+        self._rng = np.random.default_rng(seed)
+        # Engine buffer pools are per-snapshot but not thread-safe; sync
+        # callers and the worker serialise actual compute through this.
+        self._engine_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._pending: deque[EstimateRequest] = deque()
+        self._worker: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.served = 0
+        self.cache_served = 0
+        self.failures = 0
+        self.deadline_misses = 0
+        self.flushes = 0
+        self.latencies: deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "EstimateService":
+        """Start the micro-batching worker (idempotent)."""
+        if self._worker is None or not self._worker.is_alive():
+            self._stop.clear()
+            self._worker = threading.Thread(target=self._worker_loop,
+                                            name="estimate-service",
+                                            daemon=True)
+            self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain-free shutdown: pending requests fail with RuntimeError."""
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=5.0)
+            self._worker = None
+        with self._cond:
+            while self._pending:
+                self._pending.popleft()._fail(
+                    RuntimeError("service stopped"))
+
+    @property
+    def running(self) -> bool:
+        return self._worker is not None and self._worker.is_alive()
+
+    def __enter__(self) -> "EstimateService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, query: Query,
+               deadline_ms: float | None = None) -> EstimateRequest:
+        """Enqueue one query; returns a future-like request handle.
+
+        With no worker running the request is served inline (still via
+        the scheduler, still cached) so the sync API never needs a
+        thread.
+        """
+        snap = self.registry.active()
+        constraints = self._expand(snap, query)
+        key = ResultCache.signature(constraints) \
+            if self.cache is not None else None
+        deadline = None if deadline_ms is None \
+            else time.perf_counter() + deadline_ms / 1e3
+        request = EstimateRequest(query, constraints, key, deadline)
+        if key is not None:
+            hit = self.cache.get(key, snap.version)
+            if hit is not None:
+                request._complete(hit, snap.version, from_cache=True)
+                self.cache_served += 1
+                self.served += 1
+                self.latencies.append(request.latency())
+                return request
+        enqueued = False
+        with self._cond:
+            # Liveness re-checked under the lock: stop() sets _stop and
+            # drains _pending while holding it, so a request can never
+            # slip in after the drain and hang its caller.
+            if not self._stop.is_set() and self.running:
+                self._pending.append(request)
+                self._cond.notify()
+                enqueued = True
+        if not enqueued:
+            self._flush([request])
+        return request
+
+    def estimate(self, query: Query,
+                 deadline_ms: float | None = None) -> float:
+        """Synchronous single-query cardinality estimate."""
+        request = self.submit(query, deadline_ms=deadline_ms)
+        budget = None if deadline_ms is None else deadline_ms / 1e3 + 5.0
+        return request.result(timeout=budget)
+
+    def estimate_batch(self, queries: list[Query], seed: int | None = None,
+                       use_cache: bool = True) -> np.ndarray:
+        """Synchronous bulk path (bench drivers, backfills).
+
+        ``seed`` pins the sampling stream: two calls with the same seed,
+        queries, and model version return bit-identical estimates — the
+        reproducibility contract the hot-swap benchmark checks.  Seeded
+        calls bypass the cache (a cached value from unseeded traffic
+        would both short-circuit a query and shift which part of the
+        seeded stream the remaining queries consume).
+        """
+        if not queries:
+            return np.zeros(0, dtype=np.float64)
+        use_cache = use_cache and seed is None
+        snap = self.registry.active()
+        constraints = [self._expand(snap, q) for q in queries]
+        out = np.empty(len(queries), dtype=np.float64)
+        todo: list[int] = []
+        keys: list[bytes | None] = [None] * len(queries)
+        for i, cl in enumerate(constraints):
+            if use_cache and self.cache is not None:
+                keys[i] = ResultCache.signature(cl)
+                hit = self.cache.get(keys[i], snap.version)
+                if hit is not None:
+                    out[i] = hit
+                    self.cache_served += 1
+                    continue
+            todo.append(i)
+        if todo:
+            cards = self._compute(snap, [constraints[i] for i in todo], seed)
+            for j, i in enumerate(todo):
+                out[i] = cards[j]
+                if keys[i] is not None:
+                    self.cache.put(keys[i], snap.version, float(cards[j]))
+        self.served += len(queries)
+        return out
+
+    def estimate_on(self, snap: ModelVersion, queries: list[Query],
+                    seed: int | None = None) -> np.ndarray:
+        """Direct compute on a *specific* snapshot — no cache, no queue.
+
+        The reference the hot-swap consistency checks compare against:
+        a service answer for version ``v`` must be bit-identical to
+        ``estimate_on(registry.get(v), ...)`` with the same seed.
+        """
+        constraints = [self._expand(snap, q) for q in queries]
+        return self._compute(snap, constraints, seed)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expand(snap: ModelVersion, query: Query) -> list:
+        model = snap.model
+        return model.fact.expand_masks(query.masks(model.table))
+
+    def _compute(self, snap: ModelVersion, constraint_lists: list[list],
+                 seed: int | None = None) -> np.ndarray:
+        rng = self._rng if seed is None else np.random.default_rng(seed)
+        sampler = snap.model.sampler
+        with self._engine_lock:
+            sels = sampler.scheduler.estimate_many(
+                constraint_lists, sampler.num_samples, rng)
+        num_rows = snap.model.table.num_rows
+        return np.clip(sels, 0.0, 1.0) * num_rows
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self._gather()
+            if batch:
+                self._flush(batch)
+
+    def _gather(self) -> list[EstimateRequest]:
+        """Collect a micro-batch: first request opens a window that closes
+        at ``max_wait``, ``max_batch`` requests, or the tightest deadline
+        (minus compute headroom), whichever is first."""
+        with self._cond:
+            while not self._pending and not self._stop.is_set():
+                self._cond.wait(timeout=0.1)
+            if self._stop.is_set():
+                return []
+            batch = [self._pending.popleft()]
+            window_end = time.perf_counter() + self.max_wait
+            while len(batch) < self.max_batch:
+                now = time.perf_counter()
+                close_at = window_end
+                for req in batch:
+                    if req.deadline is not None:
+                        close_at = min(close_at, req.deadline - self.max_wait)
+                remaining = close_at - now
+                if remaining <= 0:
+                    break
+                if not self._pending:
+                    self._cond.wait(timeout=remaining)
+                while self._pending and len(batch) < self.max_batch:
+                    batch.append(self._pending.popleft())
+            return batch
+
+    def _flush(self, batch: list[EstimateRequest]) -> None:
+        snap = self.registry.active()
+        now = time.perf_counter()
+        live: list[EstimateRequest] = []
+        for req in batch:
+            if req.deadline is not None and now > req.deadline:
+                req._fail(TimeoutError("deadline expired before compute"))
+                self.deadline_misses += 1
+                continue
+            if req.key is not None:
+                hit = self.cache.get(req.key, snap.version)
+                if hit is not None:
+                    req._complete(hit, snap.version, from_cache=True)
+                    self.cache_served += 1
+                    self.served += 1
+                    self.latencies.append(req.latency())
+                    continue
+            live.append(req)
+        if not live:
+            return
+        self.flushes += 1
+        try:
+            cards = self._compute(snap, [r.constraints for r in live])
+        except BaseException as exc:  # noqa: BLE001 - fail the batch, keep serving
+            self.failures += len(live)
+            for req in live:
+                req._fail(exc)
+            return
+        done_at = time.perf_counter()
+        for req, card in zip(live, cards):
+            if req.key is not None:
+                # Cache regardless of the requester's deadline — the
+                # estimate is valid for this version either way.
+                self.cache.put(req.key, snap.version, float(card))
+            if req.deadline is not None and done_at > req.deadline:
+                req._fail(TimeoutError("deadline expired during compute"))
+                self.deadline_misses += 1
+                continue
+            req._complete(float(card), snap.version)
+            self.served += 1
+            self.latencies.append(req.latency())
+
+    # ------------------------------------------------------------------
+    def latency_quantiles(self) -> dict[str, float]:
+        # deque.copy() is atomic under the GIL; iterating the live deque
+        # while the worker appends would raise "mutated during iteration".
+        snapshot = self.latencies.copy()
+        if not snapshot:
+            return {"p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0}
+        arr = np.fromiter(snapshot, dtype=np.float64)
+        return {"p50_ms": float(np.percentile(arr, 50) * 1e3),
+                "p99_ms": float(np.percentile(arr, 99) * 1e3),
+                "mean_ms": float(arr.mean() * 1e3)}
+
+    def stats(self) -> dict:
+        out = {"served": self.served, "cache_served": self.cache_served,
+               "failures": self.failures,
+               "deadline_misses": self.deadline_misses,
+               "flushes": self.flushes,
+               "model_version": self.registry.version,
+               **self.latency_quantiles()}
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out

@@ -7,7 +7,8 @@ from .executor import (row_mask, true_cardinalities, true_cardinality,
 from .generator import (WorkloadConfig, default_bounded_column,
                         generate_inworkload, generate_random,
                         generate_shifted_partitions)
-from .metrics import ErrorSummary, qerror, qerrors, summarize
+from .metrics import (ErrorSummary, RollingQErrorMonitor, qerror, qerrors,
+                      summarize)
 from .dnf import (DNFQuery, estimate_disjunction, intersect_queries,
                   true_disjunction_cardinality)
 from .sqlparse import SQLParseError, parse_predicates, parse_query
@@ -17,7 +18,7 @@ __all__ = [
     "row_mask", "true_cardinality", "true_cardinalities", "true_selectivity",
     "WorkloadConfig", "default_bounded_column", "generate_inworkload",
     "generate_random", "generate_shifted_partitions",
-    "ErrorSummary", "qerror", "qerrors", "summarize",
+    "ErrorSummary", "RollingQErrorMonitor", "qerror", "qerrors", "summarize",
     "DNFQuery", "estimate_disjunction", "intersect_queries",
     "true_disjunction_cardinality",
     "parse_predicates", "parse_query", "SQLParseError",

@@ -1,7 +1,8 @@
-"""Q-error (paper Eq. 6) and quantile summaries for result tables."""
+"""Q-error (paper Eq. 6), quantile summaries, and rolling drift monitoring."""
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -61,3 +62,62 @@ class ErrorSummary:
 def summarize(estimates: np.ndarray, truths: np.ndarray) -> ErrorSummary:
     """Quantile summary of the q-errors of a batch of estimates."""
     return ErrorSummary.from_errors(qerrors(estimates, truths))
+
+
+class RollingQErrorMonitor:
+    """Rolling window of serving q-errors for workload-drift detection.
+
+    The serving loop (:mod:`repro.serve`) feeds every observed
+    (estimate, true cardinality) pair in; quantiles over the last
+    ``window`` observations decide when the live model has drifted far
+    enough from the workload to warrant query-driven refinement
+    (Section 4.5 incremental ingestion).
+    """
+
+    def __init__(self, window: int = 256, floor: float = 1.0):
+        self.window = int(window)
+        self.floor = float(floor)
+        self._errors: deque[float] = deque(maxlen=self.window)
+        self.total_observed = 0
+
+    def __len__(self) -> int:
+        return len(self._errors)
+
+    def add(self, estimate: float, truth: float) -> float:
+        """Record one observation; returns its q-error."""
+        err = qerror(estimate, truth, self.floor)
+        self._errors.append(err)
+        self.total_observed += 1
+        return err
+
+    def extend(self, estimates: np.ndarray, truths: np.ndarray) -> np.ndarray:
+        errs = qerrors(estimates, truths, self.floor)
+        self._errors.extend(float(e) for e in errs)
+        self.total_observed += len(errs)
+        return errs
+
+    def errors(self) -> np.ndarray:
+        return np.fromiter(self._errors, dtype=np.float64,
+                           count=len(self._errors))
+
+    def quantile(self, q: float) -> float:
+        """q-error quantile over the window (``inf`` when empty, so an
+        unwarmed monitor never reads as healthy)."""
+        if not self._errors:
+            return float("inf")
+        return float(np.quantile(self.errors(), q))
+
+    def mean(self) -> float:
+        if not self._errors:
+            return float("inf")
+        return float(self.errors().mean())
+
+    def summary(self) -> ErrorSummary | None:
+        if not self._errors:
+            return None
+        return ErrorSummary.from_errors(self.errors())
+
+    def reset(self) -> None:
+        """Forget the window (after a hot-swap the old model's errors no
+        longer describe the active model)."""
+        self._errors.clear()

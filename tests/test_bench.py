@@ -13,11 +13,15 @@ from repro.bench.experiments import SINGLE_TABLE_COLUMNS, single_table_setup
 
 class TestProfiles:
     def test_registry_complete(self):
-        assert set(PROFILES) == {"small", "bench", "paper"}
+        assert set(PROFILES) == {"ci", "small", "bench", "paper"}
 
     def test_scaling_order(self):
-        assert SMALL.train_queries < BENCH.train_queries < PAPER.train_queries
-        assert SMALL.dataset_rows("dmv") < PAPER.dataset_rows("dmv")
+        from repro.bench import CI
+        assert CI.train_queries < SMALL.train_queries \
+            < BENCH.train_queries < PAPER.train_queries
+        assert CI.dataset_rows("dmv") < SMALL.dataset_rows("dmv") \
+            < PAPER.dataset_rows("dmv")
+        assert CI.incremental_train < SMALL.incremental_train
 
     def test_env_selection(self, monkeypatch):
         monkeypatch.setenv("REPRO_PROFILE", "small")
@@ -66,6 +70,10 @@ class TestExperimentRegistry:
     def test_ablation_experiments_present(self):
         ablations = {k for k in EXPERIMENTS if k.startswith("ablation_")}
         assert len(ablations) >= 5
+
+    def test_serving_experiment_registered(self):
+        assert "serving" in EXPERIMENTS
+        assert "latency" in EXPERIMENTS
 
     def test_single_table_setup_shapes(self):
         setup = single_table_setup("toy", SMALL)

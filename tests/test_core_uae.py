@@ -126,6 +126,15 @@ class TestEstimation:
         card = trained.estimate(Query(()))
         assert card == pytest.approx(toy_table.num_rows, rel=1e-3)
 
+    def test_estimate_many_empty_input(self, trained):
+        out = trained.estimate_many([])
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
+        out = trained.estimate_constraints_many([])
+        assert out.shape == (0,)
+        # The batched-chunking path must handle it too.
+        assert trained.estimate_many([], batch_queries=4).shape == (0,)
+
     def test_uniform_estimator_path(self, trained, toy_table, toy_workloads):
         query = toy_workloads["test_in"].queries[0]
         card = trained.estimate_uniform(query, num_samples=500)
@@ -151,6 +160,72 @@ class TestClone:
         copy.fit(epochs=1, mode="data")
         x = uae.fact.encode_rows(toy_table.codes[:20])
         assert not np.allclose(uae.model.nll_np(x), copy.model.nll_np(x))
+
+
+class TestPersistence:
+    """Save/load -> estimate round-trips with the compiled engine.
+
+    The invalidation contract (repro/infer/compiled.py): compiled
+    artifacts are keyed on parameter version counters, and
+    ``load_state_dict`` bumps them — a freshly loaded model must never
+    serve estimates from the previous weights' fused snapshot.
+    """
+
+    def test_save_load_estimates_bitwise(self, tmp_path, toy_table,
+                                         toy_workloads):
+        uae = UAE(toy_table, **FAST)
+        uae.fit(epochs=1, mode="data")
+        queries = toy_workloads["test_in"].queries[:4]
+        constraints = [uae.fact.expand_masks(q.masks(toy_table))
+                       for q in queries]
+        rng_a = np.random.default_rng(77)
+        original = uae.sampler.engine.estimate_batch(constraints, 64, rng_a)
+        path = str(tmp_path / "uae.npz")
+        uae.save(path)
+        loaded = UAE.load(path, toy_table)
+        rng_b = np.random.default_rng(77)
+        restored = loaded.sampler.engine.estimate_batch(constraints, 64,
+                                                        rng_b)
+        np.testing.assert_array_equal(original, restored)
+
+    def test_load_state_dict_bumps_versions_on_warm_engine(self, toy_table,
+                                                           toy_workloads):
+        uae = UAE(toy_table, **FAST)
+        other = UAE(toy_table, **dict(FAST, seed=9))
+        other.fit(epochs=1, mode="data")
+        query = toy_workloads["test_in"].queries[0]
+        constraints = [uae.fact.expand_masks(query.masks(toy_table))]
+        # Warm the compiled engine on the *initial* weights.
+        compiled = uae.sampler.engine.compiled
+        compiled.ensure_current()
+        versions_before = tuple(p.version for p in uae.model.parameters())
+        rng = np.random.default_rng(5)
+        stale = uae.sampler.engine.estimate_batch(constraints, 128, rng)
+
+        uae.model.load_state_dict(other.model.state_dict())
+        versions_after = tuple(p.version for p in uae.model.parameters())
+        assert all(a > b for a, b in zip(versions_after, versions_before))
+        # The warm engine recompiles and serves the new weights...
+        fresh = uae.sampler.engine.estimate_batch(
+            constraints, 128, np.random.default_rng(5))
+        assert compiled.ensure_current() is False  # already recompiled
+        # ...matching the donor model bit for bit under the same draws.
+        reference = other.sampler.engine.estimate_batch(
+            constraints, 128, np.random.default_rng(5))
+        np.testing.assert_array_equal(fresh, reference)
+        assert not np.array_equal(stale, fresh)
+
+    def test_snapshot_is_warm_and_detached(self, toy_table, toy_workloads):
+        uae = UAE(toy_table, **FAST)
+        uae.fit(epochs=1, mode="data")
+        uae.sampler.engine.compiled.ensure_current()  # warm the source too
+        snap = uae.snapshot()
+        # Snapshot compiled eagerly; further training of the source does
+        # not touch it.
+        assert snap.sampler.engine.compiled.ensure_current() is False
+        uae.fit(epochs=1, mode="data")
+        assert snap.sampler.engine.compiled.ensure_current() is False
+        assert uae.sampler.engine.compiled.ensure_current() is True
 
 
 class TestIncremental:

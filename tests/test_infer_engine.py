@@ -289,10 +289,10 @@ class TestScheduler:
     def test_matches_per_query_estimates(self, model):
         rng = np.random.default_rng(43)
         queries = make_queries(model, rng, 7)
-        sampler = ProgressiveSampler(model, num_samples=600, seed=47)
+        sampler = ProgressiveSampler(model, num_samples=2000, seed=47)
         many = sampler.estimate_many(queries)
         for i, q in enumerate(queries):
-            solo = ProgressiveSampler(model, num_samples=600,
+            solo = ProgressiveSampler(model, num_samples=2000,
                                       seed=53 + i).estimate(q)
             assert many[i] == pytest.approx(solo, rel=0.25, abs=0.02)
 
@@ -312,6 +312,77 @@ class TestScheduler:
         out = scheduler.estimate_many([q] * 9, num_samples=10, rng=rng)
         assert out.shape == (9,)
         assert np.all((out >= 0) & (out <= 1))
+
+    def test_empty_input(self, model):
+        engine = InferenceEngine(model)
+        scheduler = BatchScheduler(engine)
+        rng = np.random.default_rng(61)
+        assert scheduler.estimate_many([], 16, rng).shape == (0,)
+        out, err = scheduler.estimate_many([], 16, rng, with_error=True)
+        assert out.shape == (0,) and err.shape == (0,)
+
+    def _count_engine_calls(self, scheduler, queries, num_samples=32):
+        calls = []
+        original = scheduler.engine.estimate_batch
+
+        def counting(chunk, *args, **kwargs):
+            calls.append(len(chunk))
+            return original(chunk, *args, **kwargs)
+
+        scheduler.engine.estimate_batch = counting
+        try:
+            out = scheduler.estimate_many(queries, num_samples,
+                                          np.random.default_rng(67))
+        finally:
+            scheduler.engine.estimate_batch = original
+        return out, calls
+
+    def test_small_groups_coalesce_into_mixed_batches(self, model):
+        """Singleton signatures run as one mixed engine batch, not one
+        dispatch per signature (the BENCH_infer scheduler regression)."""
+        rng = np.random.default_rng(63)
+        queries = make_queries(model, rng, 6)
+        # Force distinct signatures so every group is a singleton.
+        distinct = []
+        sigs = set()
+        for q in queries:
+            sig = tuple(c is not None for c in q)
+            if sig not in sigs:
+                sigs.add(sig)
+                distinct.append(q)
+        engine = InferenceEngine(model)
+        coalescing = BatchScheduler(engine, min_group_size=4)
+        out_c, calls_c = self._count_engine_calls(coalescing, distinct)
+        assert len(calls_c) == 1 and calls_c[0] == len(distinct)
+        grouped = BatchScheduler(engine, min_group_size=1)
+        out_g, calls_g = self._count_engine_calls(grouped, distinct)
+        assert len(calls_g) == len(distinct)
+        assert out_c.shape == out_g.shape == (len(distinct),)
+        assert np.all((out_c >= 0) & (out_c <= 1))
+
+    def test_coalesced_estimates_match_solo(self, model):
+        rng = np.random.default_rng(69)
+        queries = make_queries(model, rng, 5)
+        engine = InferenceEngine(model)
+        scheduler = BatchScheduler(engine, min_group_size=10)  # coalesce all
+        many = scheduler.estimate_many(queries, 600,
+                                       np.random.default_rng(71))
+        for i, q in enumerate(queries):
+            solo = ProgressiveSampler(model, num_samples=600,
+                                      seed=73 + i).estimate(q)
+            assert many[i] == pytest.approx(solo, rel=0.25, abs=0.02)
+
+    def test_coalesce_row_budget_splits_chunks(self, model):
+        rng = np.random.default_rng(75)
+        queries = make_queries(model, rng, 8)
+        engine = InferenceEngine(model)
+        scheduler = BatchScheduler(engine, min_group_size=100,
+                                   coalesce_rows=3 * 32)
+        out, calls = self._count_engine_calls(scheduler, queries,
+                                              num_samples=32)
+        assert out.shape == (8,)
+        assert all(c <= 3 for c in calls)
+        assert sum(calls) == 8
 
 
 class TestFusedMaskedLinear:

@@ -700,9 +700,16 @@ def run_serving(profile: Profile | None = None) -> dict:
     return _run(profile)
 
 
+def run_training_bench(profile: Profile | None = None) -> dict:
+    """Training-engine microbenchmark (writes BENCH_train.json)."""
+    from .train_bench import run_training as _run
+    return _run(profile)
+
+
 EXPERIMENTS = {
     "latency": run_infer_latency,
     "serving": run_serving,
+    "training": run_training_bench,
     "table1": capability_matrix,
     "sub_baselines": run_sub_baselines,
     "ablation_ensemble": ablation_ensemble,

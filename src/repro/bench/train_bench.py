@@ -1,0 +1,216 @@
+"""Training-engine throughput microbenchmark.
+
+Measures optimizer steps per second for the three training modes of
+Algorithm 3 — data-only (Eq. 2), query-only (Eq. 5/6 via DPS), and
+hybrid — on the legacy autograd backend and the fused training engine
+*in the same run*, over the same DMV table and identically-seeded
+models.  Two additional sections:
+
+* **gradient parity** — same weights, same batch, same random draws:
+  the fused backward must reproduce the legacy gradients to float32
+  rounding (max abs diff < 1e-4).  A violation raises, which is the
+  contract the CI training smoke job gates on.
+* **refinement wall-clock** — the serving loop's Section 4.5 refinement
+  (staged-insert ``ingest_data`` + feedback ``ingest_queries``, the same
+  epoch counts ``UAEServer`` uses) timed end to end per backend: the
+  number that bounds hot-swap freshness under drift.
+
+Run ``python -m repro.bench training --profile bench`` to regenerate the
+``BENCH_train.json`` artifact at the repo root (plus the usual
+``results/training.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from ..core import UAE
+from ..data import load
+from ..workload import generate_inworkload
+from .profiles import Profile, current_profile
+from .reporting import RESULTS_DIR
+
+BENCH_TRAIN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(RESULTS_DIR)), "BENCH_train.json")
+
+# Measured optimizer steps per mode (after warmup); refinement uses the
+# serving loop's epoch counts and scales with the profile's row/query
+# budget on its own.
+_TRAIN_STEPS = {"ci": 4, "small": 6, "bench": 12, "paper": 24}
+_WARMUP = 3
+_PARITY_TOLERANCE = 1e-4
+# The serving defaults (UAEServer refine_epochs/data_epochs in the
+# serving bench scenario).
+_REFINE_EPOCHS = 12
+_DATA_EPOCHS = 3
+
+
+def _make_uae(table, profile: Profile, backend: str) -> UAE:
+    return UAE(table, hidden=profile.hidden, num_blocks=profile.num_blocks,
+               est_samples=profile.est_samples,
+               dps_samples=profile.dps_samples,
+               batch_size=profile.batch_size,
+               query_batch_size=profile.query_batch_size,
+               lam=profile.lam, seed=0, train_backend=backend)
+
+
+def _time_steps(uae: UAE, prepared: dict, mode: str, reps: int) -> float:
+    """Mean seconds per optimizer step for one training mode."""
+    rows = uae.model_codes
+    batch = min(uae.config.batch_size, len(rows))
+
+    def one_step():
+        loss = None
+        if mode in ("data", "hybrid"):
+            idx = uae.rng.integers(0, len(rows), batch)
+            loss = uae.data_loss(rows[idx])
+        if mode in ("query", "hybrid"):
+            q_loss = uae._query_step_loss(prepared)
+            scale = uae.config.lam if mode == "hybrid" else 1.0
+            loss = q_loss * scale if loss is None else loss + q_loss * scale
+        uae.optimizer.zero_grad()
+        loss.backward()
+        uae.optimizer.step()
+
+    for _ in range(_WARMUP):
+        one_step()
+    start = time.perf_counter()
+    for _ in range(reps):
+        one_step()
+    return (time.perf_counter() - start) / reps
+
+
+def _time_refinement(uae: UAE, new_rows: np.ndarray, workload) -> float:
+    """Wall-clock of one serving-style refinement (data + query halves)."""
+    start = time.perf_counter()
+    uae.ingest_data(new_rows, epochs=_DATA_EPOCHS)
+    uae.ingest_queries(workload, epochs=_REFINE_EPOCHS)
+    return time.perf_counter() - start
+
+
+def run_training(profile: Profile | None = None,
+                 write_artifact: bool = True) -> dict:
+    """Legacy vs fused-engine training throughput on the DMV workload."""
+    from ..train import gradient_parity
+
+    profile = profile or current_profile()
+    reps = _TRAIN_STEPS.get(profile.name, 10)
+    table = load("dmv", rows=profile.dataset_rows("dmv"), seed=0)
+    rng = np.random.default_rng(17)
+    step_wl = generate_inworkload(table, 64, rng)
+    refine_wl = generate_inworkload(table, max(32, profile.incremental_train),
+                                    rng)
+
+    # ------------------------------------------------------------------
+    # Gradient parity: identically-seeded models, one shared batch.
+    probe = _make_uae(table, profile, "engine")
+    pick = np.random.default_rng(3).integers(0, len(probe.model_codes),
+                                             min(256, len(probe.model_codes)))
+    batch_codes = probe.model_codes[pick]
+    constraints = [probe.fact.expand_masks(q.masks(table))
+                   for q in step_wl.queries[:profile.query_batch_size]]
+    sels = step_wl.selectivities(table.num_rows)[:profile.query_batch_size]
+    parity = gradient_parity(lambda b: _make_uae(table, profile, b),
+                             batch_codes, constraints, sels,
+                             tolerance=_PARITY_TOLERANCE)
+
+    # ------------------------------------------------------------------
+    # Steps/s per mode per backend.
+    step_seconds: dict[tuple[str, str], float] = {}
+    for backend in ("legacy", "engine"):
+        uae = _make_uae(table, profile, backend)
+        prepared = uae._prepare_workload(step_wl)
+        for mode in ("data", "query", "hybrid"):
+            step_seconds[(mode, backend)] = _time_steps(uae, prepared,
+                                                        mode, reps)
+
+    # ------------------------------------------------------------------
+    # End-to-end refinement wall-clock (Section 4.5, serving epochs):
+    # 40% fresh rows staged plus the shifted feedback workload.
+    n_new = max(1, int(0.4 * table.num_rows))
+    new_rows = table.codes[np.random.default_rng(23).integers(
+        0, table.num_rows, n_new)]
+    refine_seconds: dict[str, float] = {}
+    for backend in ("legacy", "engine"):
+        uae = _make_uae(table, profile, backend)
+        refine_seconds[backend] = _time_refinement(uae, new_rows, refine_wl)
+
+    rows = []
+    for mode in ("data", "query", "hybrid"):
+        legacy_s = step_seconds[(mode, "legacy")]
+        engine_s = step_seconds[(mode, "engine")]
+        rows.append({"mode": mode,
+                     "legacy_steps_per_sec": 1.0 / legacy_s,
+                     "engine_steps_per_sec": 1.0 / engine_s,
+                     "speedup": legacy_s / engine_s})
+    rows.append({"mode": "refinement (wall-clock s)",
+                 "legacy_steps_per_sec": refine_seconds["legacy"],
+                 "engine_steps_per_sec": refine_seconds["engine"],
+                 "speedup": refine_seconds["legacy"]
+                 / refine_seconds["engine"]})
+
+    hybrid_speedup = step_seconds[("hybrid", "legacy")] \
+        / step_seconds[("hybrid", "engine")]
+    checks = {
+        "grad_parity_data": parity["data_max_abs_grad_diff"]
+        < _PARITY_TOLERANCE,
+        "grad_parity_query": parity["query_max_abs_grad_diff"]
+        < _PARITY_TOLERANCE,
+        "all_finite": all(np.isfinite(v) for v in step_seconds.values())
+        and all(np.isfinite(v) for v in refine_seconds.values()),
+        "hybrid_speedup_ge_3": bool(hybrid_speedup >= 3.0),
+    }
+
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "profile": profile.name,
+        "dataset": "dmv",
+        "num_rows": table.num_rows,
+        "batch_size": profile.batch_size,
+        "query_batch_size": profile.query_batch_size,
+        "dps_samples": profile.dps_samples,
+        "measured_steps": reps,
+        "data_steps_per_sec": {b: 1.0 / step_seconds[("data", b)]
+                               for b in ("legacy", "engine")},
+        "query_steps_per_sec": {b: 1.0 / step_seconds[("query", b)]
+                                for b in ("legacy", "engine")},
+        "hybrid_steps_per_sec": {b: 1.0 / step_seconds[("hybrid", b)]
+                                 for b in ("legacy", "engine")},
+        "hybrid_speedup": hybrid_speedup,
+        "refinement_seconds": refine_seconds,
+        "refinement_rows": int(n_new),
+        "refinement_queries": len(refine_wl),
+        "gradient_parity": parity,
+        "checks": checks,
+        "rows": rows,
+    }
+    if write_artifact:
+        try:
+            with open(BENCH_TRAIN_PATH, "w") as fh:
+                json.dump(payload, fh, indent=2)
+        except OSError as exc:  # never discard timed results over a write
+            print(f"warning: could not write {BENCH_TRAIN_PATH}: {exc}")
+
+    # Parity and sanity are hard gates (the CI smoke job relies on the
+    # non-zero exit); the speedup figure is recorded, not gated — step
+    # timing on a noisy shared core is not a correctness property.
+    failed = [name for name in ("grad_parity_data", "grad_parity_query",
+                                "all_finite") if not checks[name]]
+    if failed:
+        raise RuntimeError(
+            f"training bench invariants violated: {failed} "
+            f"[data diff {parity['data_max_abs_grad_diff']:.2e}, query diff "
+            f"{parity['query_max_abs_grad_diff']:.2e}]; see "
+            f"{BENCH_TRAIN_PATH if write_artifact else 'payload'}")
+
+    return {"title": "Training engine throughput: legacy autograd vs fused "
+                     f"kernels (DMV, profile={profile.name})",
+            "columns": ["mode", "legacy_steps_per_sec",
+                        "engine_steps_per_sec", "speedup"],
+            "rows": rows,
+            **{k: v for k, v in payload.items() if k != "rows"}}

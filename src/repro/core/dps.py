@@ -36,19 +36,44 @@ from .gumbel import gs_sample
 
 
 class DifferentiableProgressiveSampler:
-    """Batched DPS over model-column constraint lists."""
+    """Batched DPS over model-column constraint lists.
+
+    ``backend="engine"`` (default) runs the hand-fused training kernel
+    (:class:`repro.train.dps_fused.FusedDPS`): persistent input buffer,
+    step-0 wildcard dedup, one hand-written backward.  ``backend=
+    "legacy"`` runs the original graph-built loop below — the reference
+    implementation the fused kernel's gradient-parity tests and the
+    training benchmark compare against.  Both consume the Gumbel stream
+    identically, so a shared seed gives draw-for-draw agreement.
+    """
 
     def __init__(self, model: ResMADE, num_samples: int = 8,
-                 temperature: float = 1.0, seed: int = 0):
+                 temperature: float = 1.0, seed: int = 0,
+                 backend: str = "engine"):
         if num_samples < 1:
             raise ValueError("need at least one sample")
+        if backend not in ("engine", "legacy"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.model = model
         self.num_samples = num_samples
         self.temperature = temperature
         self.rng = np.random.default_rng(seed)
+        self.backend = backend
+        self._fused = None
 
     def estimate_batch(self, constraint_lists: list[list]) -> Tensor:
         """Differentiable selectivity estimates ``[num_queries]``."""
+        if self.backend == "engine":
+            if self._fused is None:
+                from ..train.dps_fused import FusedDPS
+                self._fused = FusedDPS(self.model)
+            return self._fused.estimate_batch(
+                constraint_lists, self.num_samples, self.temperature,
+                self.rng)
+        return self.estimate_batch_legacy(constraint_lists)
+
+    def estimate_batch_legacy(self, constraint_lists: list[list]) -> Tensor:
+        """The original autograd-graph loop (reference implementation)."""
         model = self.model
         n_queries = len(constraint_lists)
         s = self.num_samples

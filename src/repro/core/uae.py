@@ -61,6 +61,7 @@ class UAEConfig:
     gradient_estimator: str = "gumbel"  # or "reinforce" (ablation)
     column_order: str = "natural"       # or "random" (ordering ablation)
     grad_clip: float | None = 8.0
+    train_backend: str = "engine"       # or "legacy" (reference autograd)
     seed: int = 0
 
 
@@ -87,6 +88,9 @@ class UAE(TrainableEstimator):
         """Model, optimizer, and samplers (shared by ``__init__`` and the
         lightweight :meth:`snapshot` path)."""
         config = self.config
+        if config.train_backend not in ("engine", "legacy"):
+            raise ValueError(
+                f"unknown train_backend {config.train_backend!r}")
         self.model = ResMADE(self.fact.model_domains, hidden=config.hidden,
                              num_blocks=config.num_blocks, rng=self.rng,
                              encoding=config.encoding,
@@ -100,10 +104,12 @@ class UAE(TrainableEstimator):
                                           seed=config.seed + 1)
         self.dps = DifferentiableProgressiveSampler(
             self.model, num_samples=config.dps_samples,
-            temperature=config.temperature, seed=config.seed + 2)
+            temperature=config.temperature, seed=config.seed + 2,
+            backend=config.train_backend)
         self.sf = ScoreFunctionSampler(self.model,
                                        num_samples=config.dps_samples,
                                        seed=config.seed + 2)
+        self._fused_data = None  # lazy FusedDataLoss (engine backend)
 
     def _build_order(self, strategy: str) -> list[int] | None:
         """Column-ordering strategies (paper Section 4.2 / Naru, MADE).
@@ -130,10 +136,22 @@ class UAE(TrainableEstimator):
     # Losses
     # ------------------------------------------------------------------
     def data_loss(self, batch_codes: np.ndarray) -> Tensor:
-        """Eq. 2 with Naru-style wildcard dropout for skipping support."""
+        """Eq. 2 with Naru-style wildcard dropout for skipping support.
+
+        The default ``train_backend="engine"`` runs the hand-fused
+        forward/backward kernel (:class:`repro.train.FusedDataLoss`);
+        ``"legacy"`` keeps the original per-column ``F.cross_entropy``
+        graph as the reference.  Both consume the wildcard-dropout RNG
+        identically and agree on gradients to float32 rounding.
+        """
         n = len(batch_codes)
         frac = self.rng.uniform(0.0, self.config.wildcard_max_frac, size=(n, 1))
         wildcard = self.rng.random((n, self.model.num_cols)) < frac
+        if self.config.train_backend == "engine":
+            if self._fused_data is None:
+                from ..train import FusedDataLoss
+                self._fused_data = FusedDataLoss(self.model)
+            return self._fused_data.loss(batch_codes, wildcard)
         logits = self.model.forward_codes(batch_codes, wildcard=wildcard)
         loss: Tensor | None = None
         for col in range(self.model.num_cols):
@@ -141,6 +159,19 @@ class UAE(TrainableEstimator):
                                    batch_codes[:, col])
             loss = term if loss is None else loss + term
         return loss
+
+    @property
+    def train_backend(self) -> str:
+        return self.config.train_backend
+
+    @train_backend.setter
+    def train_backend(self, backend: str) -> None:
+        """Switch the training fast path on or off (``"engine"`` /
+        ``"legacy"``) without touching weights or optimizer state."""
+        if backend not in ("engine", "legacy"):
+            raise ValueError(f"unknown train_backend {backend!r}")
+        self.config = replace(self.config, train_backend=backend)
+        self.dps.backend = backend
 
     def _discrepancy(self, est: Tensor, true_sels: np.ndarray) -> Tensor:
         kind = self.config.discrepancy
@@ -193,6 +224,7 @@ class UAE(TrainableEstimator):
 
         best_score = np.inf
         best_state = None
+        best_opt_state = None
         stale_epochs = 0
         base_lr = self.optimizer.lr
 
@@ -232,6 +264,7 @@ class UAE(TrainableEstimator):
                 if score < best_score - 1e-9:
                     best_score = score
                     best_state = self.model.state_dict()
+                    best_opt_state = self.optimizer.state_dict()
                     stale_epochs = 0
                 else:
                     stale_epochs += 1
@@ -239,7 +272,13 @@ class UAE(TrainableEstimator):
                         break
         self.optimizer.lr = base_lr
         if best_state is not None:
+            # Restore the optimizer moments/step counter captured with
+            # the best weights: rewinding weights alone would leave Adam
+            # state accumulated toward the discarded trajectory, so a
+            # follow-up ``ingest_*`` call would warm-start its first
+            # steps from mismatched moments.
             self.model.load_state_dict(best_state)
+            self.optimizer.load_state_dict(best_opt_state)
         return self
 
     def _validation_qerror(self, validation: LabeledWorkload,

@@ -14,6 +14,12 @@ as flat, pre-transposed, contiguous float32 numpy arrays:
   batch starts from this state, so step 0 costs one cached row instead of
   a batch-sized forward pass.
 
+The fused/pre-transposed matrices come from each layer's
+``MaskedLinear.fused_weight_t()`` cache — the same arrays the training
+engine's hand-written kernels (:mod:`repro.train`) consume, so training
+steps and inference snapshots never duplicate the ``weight * mask``
+product for one parameter version.
+
 Invalidation contract
 ---------------------
 Compiled artifacts derive from parameter *values*, so the cache is keyed on

@@ -67,10 +67,28 @@ def nll_from_logprobs(logp: Tensor, targets: np.ndarray) -> Tensor:
     return -picked.mean()
 
 
-def sample_gumbel(shape, rng: np.random.Generator, eps: float = 1e-20) -> np.ndarray:
-    """Draw Gumbel(0, 1) noise: ``g = -log(-log(u))``, Eq. 9 of the paper."""
-    u = rng.random(shape)
-    return -np.log(-np.log(u + eps) + eps).astype(np.float32)
+def sample_gumbel(shape, rng: np.random.Generator, eps: float = 1e-20,
+                  out: np.ndarray | None = None) -> np.ndarray:
+    """Draw Gumbel(0, 1) noise: ``g = -log(-log(u))``, Eq. 9 of the paper.
+
+    Drawn directly in float32 and transformed in place — noise generation
+    sits on the per-step DPS hot path, where the old float64 draw plus
+    ``astype`` copy was a measurable share of the query-loss step.  Pass
+    a pooled float32 ``out`` buffer to make the draw allocation-free; the
+    consumed random stream is identical either way.
+    """
+    if out is not None:
+        u = out
+        rng.random(out=u, dtype=np.float32)
+    else:
+        u = rng.random(shape, dtype=np.float32)
+    u += np.float32(eps)
+    np.log(u, out=u)
+    np.negative(u, out=u)
+    u += np.float32(eps)
+    np.log(u, out=u)
+    np.negative(u, out=u)
+    return u
 
 
 def masked_fill(logits: Tensor, invalid: np.ndarray, value: float = NEG_INF) -> Tensor:

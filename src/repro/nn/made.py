@@ -33,9 +33,21 @@ def input_degrees(widths: list[int]) -> np.ndarray:
 
 
 def hidden_degrees(num_units: int, num_cols: int) -> np.ndarray:
-    """Cycle hidden degrees over ``0..num_cols-2`` for even coverage."""
+    """Hidden degrees over ``0..num_cols-2``: even coverage, **sorted**.
+
+    The multiset of degrees is the same balanced assignment MADE uses
+    (each degree appears ``num_units / (num_cols - 1)`` times, up to
+    rounding), but laid out in ascending order instead of cycling.  Any
+    assignment with these counts yields an equivalent architecture — the
+    masks only compare degrees — and the sorted layout makes the units a
+    position may depend on a contiguous *prefix*: everything relevant to
+    sampling position ``p`` lives in hidden units ``[0, k)`` with
+    ``k = count(degree < p)``.  The fused training kernels
+    (:mod:`repro.train`) exploit this to shrink every per-step GEMM to
+    the prefix that can actually carry gradient.
+    """
     top = max(num_cols - 1, 1)
-    return np.arange(num_units, dtype=np.int64) % top
+    return np.sort(np.arange(num_units, dtype=np.int64) % top)
 
 
 def output_degrees(domain_sizes: list[int]) -> np.ndarray:
@@ -131,6 +143,12 @@ class ResMADE(Module):
                        for _ in range(num_blocks)]
         self.output_layer = MaskedLinear(hidden, self.total_logits, rng)
         self.output_layer.set_mask(mask_between(hid_deg, out_deg, is_output=True))
+        # ``hidden_prefix[p]``: hidden units with degree < p — because
+        # degrees are sorted, the logits of the column at position ``p``
+        # depend exactly on hidden units ``[0, hidden_prefix[p])``, so
+        # per-position forwards/backwards can run on that prefix alone.
+        self.hidden_prefix = np.searchsorted(hid_deg, np.arange(self.num_cols),
+                                             side="left").astype(np.int64)
 
         # Slices into the input vector / logit vector per column.
         self.input_slices: list[slice] = []

@@ -118,7 +118,10 @@ class MaskedLinear(Module):
     transpose) and invalidated through the weight tensor's version counter,
     which optimizer steps and checkpoint loads bump — so neither the
     training forward nor the numpy inference paths pay the elementwise
-    multiply on every call.
+    multiply on every call.  This cache is the single source of fused
+    weights for every fast path: the autograd forward below, the
+    inference snapshot (:class:`repro.infer.CompiledModel`), and the
+    hand-written training kernels (:mod:`repro.train`).
     """
 
     def __init__(self, in_features: int, out_features: int,

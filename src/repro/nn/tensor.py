@@ -59,7 +59,7 @@ class Tensor:
     """A numpy-backed tensor that records operations for backpropagation."""
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name",
-                 "version")
+                 "version", "_grad_buf")
 
     def __init__(self, data, requires_grad: bool = False, _prev: Sequence["Tensor"] = (),
                  name: str = ""):
@@ -75,6 +75,13 @@ class Tensor:
         # models — compare versions instead of array contents.  Code that
         # mutates ``data`` directly must call :meth:`bump_version`.
         self.version = 0
+        # Pooled gradient storage: ``zero_grad`` drops ``grad`` but keeps
+        # this buffer, so long-lived tensors (parameters) reuse one array
+        # across training steps instead of allocating a fresh gradient
+        # every ``backward``.  Consequence: a reference to ``p.grad``
+        # taken before ``zero_grad`` is overwritten by the next backward —
+        # copy it if it must outlive the step.
+        self._grad_buf: np.ndarray | None = None
 
     def bump_version(self) -> None:
         """Mark ``data`` as mutated so value-derived caches invalidate."""
@@ -125,7 +132,12 @@ class Tensor:
     # ------------------------------------------------------------------
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            buf = self._grad_buf
+            if buf is None or buf.shape != self.data.shape \
+                    or buf.dtype != self.data.dtype:
+                buf = self._grad_buf = np.empty_like(self.data)
+            np.copyto(buf, grad)
+            self.grad = buf
         else:
             self.grad += grad
 
@@ -401,7 +413,9 @@ class Tensor:
                     axes = tuple(a % self.ndim for a in axes)
                     shape = [1 if i in axes else s for i, s in enumerate(self.shape)]
                     grad = grad.reshape(shape)
-                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+                # ``_accumulate`` copies (or adds) the broadcast view, so
+                # no materialised copy is needed here.
+                self._accumulate(np.broadcast_to(grad, self.shape))
             return backward
 
         return Tensor._make(data, (self,), make)

@@ -42,7 +42,15 @@ class UAEServer:
                  cache_capacity: int = 8192, keep_versions: int = 3,
                  max_batch: int = 32, max_wait_ms: float = 2.0,
                  refine_epochs: int = 8, data_epochs: int = 3,
-                 auto_refine: bool = False, seed: int = 0):
+                 auto_refine: bool = False, seed: int = 0,
+                 train_backend: str | None = None):
+        # Refinement runs on the trainer's configured training backend —
+        # the fused engine by default (see ``UAEConfig.train_backend``),
+        # which is what keeps drift-triggered hot-swaps fresh under live
+        # traffic.  Pass ``train_backend="legacy"`` to pin the reference
+        # autograd path.
+        if train_backend is not None:
+            estimator.train_backend = train_backend
         self.trainer = estimator
         self.registry = ModelRegistry(estimator, keep_versions=keep_versions)
         self.cache = ResultCache(capacity=cache_capacity)

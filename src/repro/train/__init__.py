@@ -1,0 +1,29 @@
+"""Compiled hybrid-training engine (the training fast path).
+
+Mirror of the PR 1 inference engine for the *training* side of the paper
+(Sections 4.3-4.5): hand-fused forward/backward kernels over the masked
+layers' cached fused weights, pooled activation and gradient buffers, and
+float32 discipline end to end.
+
+* :class:`FusedDataLoss` — one fused pass for the data NLL (Eq. 2),
+  replacing the per-column ``F.cross_entropy`` graph;
+* :class:`FusedDPS` — the vectorized differentiable-progressive-sampling
+  step (Algorithm 2) behind ``DifferentiableProgressiveSampler``'s
+  default ``backend="engine"``;
+* :func:`gradient_parity` — the legacy-vs-engine gradient check the
+  training bench and tests gate on.
+
+``UAE`` selects the backend through ``UAEConfig.train_backend``
+(``"engine"`` by default, ``"legacy"`` keeps the original autograd path).
+"""
+
+from .fused import BufferPool, FusedDataLoss, TrunkGrads, trunk_backward, \
+    trunk_forward
+from .dps_fused import FusedDPS
+from .parity import collect_grads, gradient_parity, max_grad_diff
+
+__all__ = [
+    "BufferPool", "FusedDataLoss", "TrunkGrads", "trunk_backward",
+    "trunk_forward", "FusedDPS", "collect_grads", "gradient_parity",
+    "max_grad_diff",
+]

@@ -19,10 +19,15 @@ class TestMaskConstruction:
         deg = input_degrees([2, 3, 1])
         np.testing.assert_array_equal(deg, [0, 0, 1, 1, 1, 2])
 
-    def test_hidden_degrees_cycle(self):
+    def test_hidden_degrees_balanced_and_sorted(self):
         deg = hidden_degrees(7, 4)
         assert set(deg) <= {0, 1, 2}
-        np.testing.assert_array_equal(deg, [0, 1, 2, 0, 1, 2, 0])
+        # Balanced coverage (same multiset as the classic cycling
+        # assignment) laid out ascending, so each sampling position
+        # depends on a contiguous hidden-unit prefix — the property the
+        # fused training kernels' width-restricted GEMMs rely on.
+        np.testing.assert_array_equal(deg, [0, 0, 0, 1, 1, 2, 2])
+        assert np.all(np.diff(deg) >= 0)
 
     def test_output_degrees(self):
         deg = output_degrees([2, 4])

@@ -89,3 +89,76 @@ class TestAdam:
         loss.backward()
         opt.step()
         np.testing.assert_allclose(unused.data, 1.0)
+
+    def test_grad_clip_uses_global_norm(self):
+        """Clipping scales every gradient by one shared factor, so the
+        relative step sizes between parameters are preserved (per-tensor
+        clipping would silently rebalance layer learning rates)."""
+        a = Tensor(np.zeros(1), requires_grad=True)
+        b = Tensor(np.zeros(1), requires_grad=True)
+        opt = Adam([a, b], lr=0.1, grad_clip=1.0)
+        loss = (a * 30.0).sum() + (b * 40.0).sum()   # global norm 50
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        # After scaling by 1/50 the gradient ratio 30:40 must survive.
+        np.testing.assert_allclose(a.grad, 30.0 / 50.0, rtol=1e-5)
+        np.testing.assert_allclose(b.grad, 40.0 / 50.0, rtol=1e-5)
+
+    def test_grad_clip_noop_below_threshold(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        opt = Adam([p], lr=0.1, grad_clip=10.0)
+        loss = (p * 1.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        np.testing.assert_allclose(p.grad, 1.0)
+
+    def test_state_dict_roundtrip(self):
+        p = Tensor(np.full(3, 5.0), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        for _ in range(3):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        snap = opt.state_dict()
+        weights = p.data.copy()
+        for _ in range(4):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert opt._t == 7
+        opt.load_state_dict(snap)
+        p.data = weights
+        p.bump_version()
+        assert opt._t == 3
+        np.testing.assert_array_equal(opt._m[0], snap["m"][0])
+        np.testing.assert_array_equal(opt._v[0], snap["v"][0])
+        # The snapshot is detached: stepping after restore must not
+        # mutate the caller's copy.
+        loss = quadratic_loss(p)
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        np.testing.assert_array_equal(snap["m"][0], snap["m"][0].copy())
+
+
+class TestSGDState:
+    def test_state_dict_roundtrip(self):
+        p = Tensor(np.full(2, 4.0), requires_grad=True)
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(3):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        snap = opt.state_dict()
+        for _ in range(2):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        opt.load_state_dict(snap)
+        np.testing.assert_array_equal(opt._velocity[0], snap["velocity"][0])

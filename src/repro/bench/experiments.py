@@ -700,6 +700,13 @@ def run_serving(profile: Profile | None = None) -> dict:
     return _run(profile)
 
 
+def run_serving_multi(profile: Profile | None = None) -> dict:
+    """Multi-table front-door scenario (standalone; also embedded in
+    BENCH_serve.json by the `serving` experiment)."""
+    from .serve_bench import run_multi_table as _run
+    return _run(profile)
+
+
 def run_training_bench(profile: Profile | None = None) -> dict:
     """Training-engine microbenchmark (writes BENCH_train.json)."""
     from .train_bench import run_training as _run
@@ -709,6 +716,7 @@ def run_training_bench(profile: Profile | None = None) -> dict:
 EXPERIMENTS = {
     "latency": run_infer_latency,
     "serving": run_serving,
+    "serving_multi": run_serving_multi,
     "training": run_training_bench,
     "table1": capability_matrix,
     "sub_baselines": run_sub_baselines,

@@ -35,8 +35,11 @@ import numpy as np
 
 from ..core import UAE
 from ..data import Table, load
-from ..serve import FeedbackCollector, UAEServer
-from ..workload import WorkloadConfig, generate_inworkload, summarize
+from ..data.schema import make_imdb
+from ..serve import (FeedbackCollector, RoutedEstimateService, UAEServer,
+                     UnknownNamespaceError)
+from ..workload import (Predicate, Query, WorkloadConfig,
+                        generate_inworkload, summarize)
 from .profiles import Profile, current_profile
 from .reporting import RESULTS_DIR
 
@@ -88,9 +91,193 @@ def _phase_latency(server: UAEServer, n_requests: int) -> dict[str, float]:
             "p99_ms": float(np.percentile(arr, 99) * 1e3)}
 
 
+def run_multi_table(profile: Profile | None = None,
+                    datasets: tuple[str, ...] = ("dmv", "census"),
+                    raise_on_failure: bool = True) -> dict:
+    """The multi-table front-door scenario: several table namespaces plus
+    one join-schema namespace behind a single
+    :class:`~repro.serve.RoutedEstimateService`.
+
+    Measures mixed-stream routing throughput and verifies, bit-exactly:
+
+    * **routing parity** — a mixed seeded batch answers each query
+      identically to its namespace's direct snapshot reference (queries
+      land on the right model, and namespaces do not perturb each
+      other's sampling streams);
+    * **typed misses** — a query naming unknown columns raises
+      :class:`~repro.serve.UnknownNamespaceError`;
+    * **namespace isolation** — a drift-triggered hot-swap in the first
+      table namespace (run on the shared refinement pool) changes *its*
+      answers, while every other namespace's per-version seeded answers
+      stay bit-identical and their versions stay put.
+
+    Runs standalone as ``python -m repro.bench serving_multi`` (or via
+    ``python -m repro.serve --datasets ...``); ``run_serving`` embeds the
+    payload in ``BENCH_serve.json`` under ``"multi_table"``.
+    """
+    profile = profile or current_profile()
+    rng = np.random.default_rng(4242)
+    uae_kwargs = dict(hidden=profile.hidden, num_blocks=profile.num_blocks,
+                      est_samples=profile.est_samples,
+                      dps_samples=max(4, profile.dps_samples),
+                      batch_size=profile.batch_size,
+                      query_batch_size=profile.query_batch_size)
+
+    front = RoutedEstimateService(
+        pool_workers=1, max_batch=32, max_wait_ms=2.0, seed=7,
+        refine_epochs=max(4, profile.query_epochs // 2))
+    n_each = max(16, profile.serve_stream_queries // 2)
+    workloads: dict[str, object] = {}
+    for i, name in enumerate(datasets):
+        table = load(name, rows=profile.dataset_rows(name))
+        uae = UAE(table, seed=i, **uae_kwargs)
+        uae.fit(epochs=max(1, profile.epochs // 3), mode="data")
+        front.add_table(uae)
+        workloads[name] = generate_inworkload(table, n_each, rng)
+
+    schema = make_imdb(n_titles=profile.join_titles, seed=0)
+    from ..joins import UAEJoin, generate_job_light_ranges_focused
+    join = UAEJoin(schema, sample_size=profile.join_sample, seed=0,
+                   **uae_kwargs)
+    join.fit(epochs=max(1, profile.join_epochs // 3), mode="data")
+    join_name = "imdb_star"
+    front.add_join(join, namespace=join_name)
+    workloads[join_name] = generate_job_light_ranges_focused(
+        schema, max(8, profile.join_test_queries // 4), rng)
+
+    names = front.registry.names()
+    swap_ns = datasets[0]
+    checks: dict[str, bool] = {}
+    rows: list[dict] = []
+    probes = {name: list(workloads[name].queries[:_PROBES])
+              for name in names}
+
+    # Interleaved mixed stream over every namespace.
+    mixed: list = []
+    pools = {name: list(workloads[name].queries) for name in names}
+    k = 0
+    while any(pools.values()):
+        name = names[k % len(names)]
+        if pools[name]:
+            mixed.append(pools[name].pop(0))
+        k += 1
+
+    with front:
+        # Routing parity: one mixed seeded batch vs per-namespace
+        # snapshot references.
+        mixed_est = front.estimate_batch(mixed, seed=_SEED, use_cache=False)
+        parity = True
+        for name in names:
+            indices = [i for i, q in enumerate(mixed)
+                       if front.resolve(q).name == name]
+            ref = front.estimate_on(name, [mixed[i] for i in indices],
+                                    seed=_SEED)
+            parity = parity and bool(np.array_equal(mixed_est[indices], ref))
+        checks["routing_bit_parity"] = parity
+        try:
+            front.estimate(Query((Predicate("__no_such_column__", "=", 0),)))
+            checks["unknown_namespace_raises"] = False
+        except UnknownNamespaceError:
+            checks["unknown_namespace_raises"] = True
+
+        # Mixed-stream throughput through the per-namespace micro-batchers.
+        start = time.perf_counter()
+        for lo in range(0, len(mixed), _WAVE):
+            requests = [front.submit(q) for q in mixed[lo:lo + _WAVE]]
+            for request in requests:
+                request.result(timeout=120.0)
+        front_qps = len(mixed) / (time.perf_counter() - start)
+
+        # Per-namespace, per-version references before any swap.
+        refs_pre = {name: front.estimate_on(name, probes[name], seed=_SEED)
+                    for name in names}
+
+        # Drift in the swap namespace only: bad estimates drive its
+        # monitor over the threshold; maintain() queues the refinement
+        # on the shared pool.
+        swap_server = front.namespace(swap_ns).server
+        swap_server.feedback.min_observations = min(
+            16, len(workloads[swap_ns]))
+        swap_server.feedback.threshold = 2.0
+        for query, truth in zip(workloads[swap_ns].queries,
+                                workloads[swap_ns].cardinalities):
+            front.observe(query, truth, estimate=100.0 * max(truth, 1.0))
+        jobs = front.maintain(background=True)
+        checks["drift_refines_only_swap_namespace"] = \
+            list(jobs) == [swap_ns]
+        for job in jobs.values():
+            job.join(timeout=600.0)
+
+        # Isolation: the swap namespace moved to v2 and answers changed;
+        # everyone else is bit-identical on the same seed and version.
+        versions = {name: front.namespace(name).version for name in names}
+        checks["swap_namespace_bumped"] = versions[swap_ns] == 2
+        checks["other_namespaces_unbumped"] = all(
+            versions[name] == 1 for name in names if name != swap_ns)
+        isolated = True
+        for name in names:
+            if name == swap_ns:
+                continue
+            post = front.estimate_on(name, probes[name], seed=_SEED)
+            isolated = isolated and bool(
+                np.array_equal(post, refs_pre[name]))
+        checks["namespace_isolation_bit_identical"] = isolated
+        swapped = front.estimate_on(swap_ns, probes[swap_ns], seed=_SEED)
+        checks["swap_changes_swapped_namespace"] = \
+            not np.array_equal(swapped, refs_pre[swap_ns])
+        old = front.estimate_on(swap_ns, probes[swap_ns], version=1,
+                                seed=_SEED)
+        checks["swapped_namespace_v1_reproducible"] = bool(
+            np.array_equal(old, refs_pre[swap_ns]))
+        checks["zero_failures"] = all(
+            space.server.service.failures == 0 for space in front.registry)
+
+        pool_stats = front.pool.stats()
+        stats = front.stats()
+        for name in names:
+            space = front.namespace(name)
+            rows.append({
+                "namespace": name, "kind": space.kind,
+                "queries": len(workloads[name]),
+                "served": stats["namespaces"][name]["service"]["served"],
+                "version": versions[name],
+                "refined": pool_stats["per_namespace"].get(name, 0),
+            })
+
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "profile": profile.name,
+        "datasets": list(datasets),
+        "namespaces": names,
+        "swap_namespace": swap_ns,
+        "mixed_stream_queries": len(mixed),
+        "front_door_qps": front_qps,
+        "pool": pool_stats,
+        "checks": checks,
+        "rows": rows,
+    }
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed and raise_on_failure:
+        raise RuntimeError(
+            f"multi-table serving invariants violated: {failed}")
+    return {"title": "Multi-table front door: "
+                     f"{' + '.join(names)} behind one RoutedEstimateService "
+                     f"(profile={profile.name})",
+            "columns": ["namespace", "kind", "queries", "served", "version",
+                        "refined"],
+            **payload}
+
+
 def run_serving(profile: Profile | None = None,
-                write_artifact: bool = True) -> dict:
-    """The serving scenario; returns the usual experiment dict."""
+                write_artifact: bool = True,
+                include_multi_table: bool = True) -> dict:
+    """The serving scenario; returns the usual experiment dict.
+
+    After the single-table loop, the multi-table front-door scenario
+    (:func:`run_multi_table`) runs too; its payload lands in the
+    artifact under ``"multi_table"`` and its checks join the gate with
+    an ``mt_`` prefix.
+    """
     profile = profile or current_profile()
     rng = np.random.default_rng(2024)
 
@@ -283,6 +470,16 @@ def run_serving(profile: Profile | None = None,
             serving_qps >= qps_floor * engine_qps
         stats = server.stats()
 
+    multi = None
+    if include_multi_table:
+        multi = run_multi_table(profile, raise_on_failure=False)
+        checks.update({f"mt_{name}": ok
+                       for name, ok in multi["checks"].items()})
+        rows.extend({"phase": f"mt:{row['namespace']}",
+                     "queries": row["queries"],
+                     "version": row["version"]}
+                    for row in multi["rows"])
+
     infer_reference = None
     if os.path.exists(BENCH_INFER_PATH):
         try:
@@ -319,6 +516,9 @@ def run_serving(profile: Profile | None = None,
         "checks": checks,
         "rows": rows,
     }
+    if multi is not None:
+        payload["multi_table"] = {k: v for k, v in multi.items()
+                                  if k not in ("title", "columns")}
     if write_artifact:
         try:
             with open(BENCH_SERVE_PATH, "w") as fh:

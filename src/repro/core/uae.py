@@ -334,7 +334,24 @@ class UAE(TrainableEstimator):
         forgetting (Section 4.5).
         """
         prepared = self._prepare_workload(workload)
-        steps = max(1, len(workload) // self.config.query_batch_size)
+        return self.ingest_constraints(prepared["constraints"],
+                                       prepared["sels"], epochs=epochs)
+
+    def ingest_constraints(self, constraints: list[list],
+                           true_sels: np.ndarray,
+                           epochs: int = 10) -> "UAE":
+        """Query-driven refinement from pre-expanded constraint lists.
+
+        The serving layer's join path lands here: ``JoinQuery`` feedback
+        arrives already translated into fanout-scaled constraints (which
+        :meth:`_prepare_workload` cannot produce from table-qualified
+        predicates), with true cardinalities normalized by the join size
+        instead of the table's row count.
+        """
+        prepared = {"constraints": list(constraints),
+                    "sels": np.asarray(true_sels, dtype=np.float64)}
+        steps = max(1, len(prepared["constraints"])
+                    // self.config.query_batch_size)
         for _ in range(epochs):
             for _ in range(steps):
                 loss = self._query_step_loss(prepared)

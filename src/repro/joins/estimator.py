@@ -126,6 +126,20 @@ class UAEJoin:
         sel = self.uae.sampler.estimate(constraints)
         return float(max(sel, 0.0) * self.join_size)
 
+    def constraint_expander(self):
+        """Serving-layer hook: ``expander(model, query) -> constraints``.
+
+        The translation depends only on the (immutable, snapshot-shared)
+        factorization, sample table, and fanout gains — never on model
+        weights — so one expander serves every registry snapshot of
+        ``self.uae``.  Used by
+        :meth:`repro.serve.RoutedEstimateService.add_join` together with
+        ``join_size`` as the cardinality scale.
+        """
+        def expand(model, query: JoinQuery) -> list:
+            return self._constraints(query)
+        return expand
+
     def estimate_many(self, queries: list[JoinQuery],
                       batch_queries: int | None = None) -> np.ndarray:
         """Batched join estimation through the engine's scheduler.

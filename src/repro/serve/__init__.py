@@ -15,19 +15,31 @@ Five cooperating pieces (see the README's "Serving" section):
   plus a q-error drift monitor that decides when to refine
   (:mod:`repro.serve.feedback`);
 * :class:`UAEServer` — the loop tying them together: serve, observe,
-  refine, publish (:mod:`repro.serve.server`).
+  refine, publish (:mod:`repro.serve.server`);
+* the multi-table front door (:mod:`repro.serve.router`):
+  :class:`MultiTableRegistry` keys one registry per table / join-schema
+  *namespace*, :class:`RoutedEstimateService` routes each query to its
+  namespace's micro-batcher, and :class:`RefinementPool` bounds
+  background-refinement capacity fairly across namespaces.
 
 ``python -m repro.serve`` drives a shifting workload through the full
-loop; ``python -m repro.bench serving`` is the benchmarked version that
+loop (pass several ``--datasets`` for the multi-table front door);
+``python -m repro.bench serving`` is the benchmarked version that
 writes ``BENCH_serve.json``.
 """
 
 from .cache import ResultCache
 from .feedback import FeedbackCollector
 from .registry import ModelRegistry, ModelVersion
+from .router import (AmbiguousNamespaceError, MultiTableRegistry, Namespace,
+                     RefinementJob, RefinementPool, RoutedEstimateService,
+                     RoutingError, UnknownNamespaceError)
 from .server import UAEServer
 from .service import EstimateRequest, EstimateService
 
 __all__ = ["ModelRegistry", "ModelVersion", "EstimateService",
            "EstimateRequest", "ResultCache", "FeedbackCollector",
-           "UAEServer"]
+           "UAEServer", "MultiTableRegistry", "Namespace",
+           "RoutedEstimateService", "RefinementPool", "RefinementJob",
+           "RoutingError", "UnknownNamespaceError",
+           "AmbiguousNamespaceError"]

@@ -1,11 +1,19 @@
-"""CLI: ``python -m repro.serve [--profile ci|small|bench|paper]``.
+"""CLI: ``python -m repro.serve [--profile ci|small|bench|paper]
+[--datasets NAME ...]``.
 
-Runs the full online-serving loop — train a data-only UAE, serve steady
-traffic through the micro-batching service, drift on a shifted workload,
-refine from feedback in the background, hot-swap, serve again — and
-prints the per-phase report.  This is the same scenario
-``python -m repro.bench serving`` benchmarks; the bench variant
-additionally writes the ``BENCH_serve.json`` artifact.
+Default: the single-table online-serving loop — train a data-only UAE,
+serve steady traffic through the micro-batching service, drift on a
+shifted workload, refine from feedback in the background, hot-swap,
+serve again — and print the per-phase report.  This is the same
+scenario ``python -m repro.bench serving`` benchmarks; the bench
+variant additionally writes the ``BENCH_serve.json`` artifact.
+
+With ``--datasets`` naming one or more tables, the multi-table
+front-door scenario runs instead: one namespace per dataset plus the
+synthetic IMDB join schema behind a single ``RoutedEstimateService``,
+checking mixed-stream routing parity and the namespace-isolation
+invariant (a hot-swap in one namespace leaves every other namespace's
+per-version seeded answers bit-identical).
 """
 
 from __future__ import annotations
@@ -16,7 +24,8 @@ import sys
 
 from ..bench.profiles import PROFILES
 from ..bench.reporting import format_table
-from ..bench.serve_bench import run_serving
+from ..bench.serve_bench import run_multi_table, run_serving
+from ..data.datasets import DATASETS
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -24,19 +33,33 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.serve",
         description="Drive the online serving loop (registry, "
                     "micro-batching service, cache, feedback refinement) "
-                    "over a shifting DMV workload.")
+                    "over a shifting DMV workload — or, with --datasets, "
+                    "the multi-table front door over several namespaces.")
     parser.add_argument("--profile", default="small",
                         choices=sorted(PROFILES),
                         help="scale profile (default: small)")
+    parser.add_argument("--datasets", nargs="+", default=None,
+                        choices=sorted(DATASETS), metavar="NAME",
+                        help="serve these tables (plus the synthetic join "
+                             "schema) as namespaces behind the multi-table "
+                             "front door instead of the single-table loop")
     parser.add_argument("--no-artifact", action="store_true",
-                        help="skip writing BENCH_serve.json")
+                        help="skip writing BENCH_serve.json "
+                             "(--datasets runs never write it)")
     parser.add_argument("--json", action="store_true",
                         help="dump the full result payload as JSON")
     args = parser.parse_args(argv)
 
     try:
-        result = run_serving(PROFILES[args.profile],
-                             write_artifact=not args.no_artifact)
+        if args.datasets:
+            # Dedupe (order-preserving): each dataset is one namespace,
+            # and namespaces must be unique.
+            datasets = tuple(dict.fromkeys(args.datasets))
+            result = run_multi_table(PROFILES[args.profile],
+                                     datasets=datasets)
+        else:
+            result = run_serving(PROFILES[args.profile],
+                                 write_artifact=not args.no_artifact)
     except RuntimeError as exc:
         print(f"FAILED: {exc}", file=sys.stderr)
         return 1
@@ -46,12 +69,20 @@ def main(argv: list[str] | None = None) -> int:
                          indent=2, default=str))
     print(format_table(result["rows"], result["columns"],
                        title=result["title"]))
-    print(f"\nserving {result['serving_qps']:.0f} q/s vs plain engine "
-          f"{result['engine_qps_baseline']:.0f} q/s | "
-          f"p50 {result['p50_ms']:.2f} ms, p99 {result['p99_ms']:.2f} ms | "
-          f"shifted q-error {result['qerr_shifted_before']['mean']:.3g} -> "
-          f"{result['qerr_shifted_after']['mean']:.3g} after hot-swap "
-          f"(x{result['qerr_improvement']:.2f})")
+    if args.datasets:
+        print(f"\nfront door {result['front_door_qps']:.0f} q/s over "
+              f"{result['mixed_stream_queries']} mixed queries across "
+              f"{len(result['namespaces'])} namespaces | hot-swap in "
+              f"{result['swap_namespace']!r} isolated from the rest")
+    else:
+        print(f"\nserving {result['serving_qps']:.0f} q/s vs plain engine "
+              f"{result['engine_qps_baseline']:.0f} q/s | "
+              f"p50 {result['p50_ms']:.2f} ms, "
+              f"p99 {result['p99_ms']:.2f} ms | "
+              f"shifted q-error "
+              f"{result['qerr_shifted_before']['mean']:.3g} -> "
+              f"{result['qerr_shifted_after']['mean']:.3g} after hot-swap "
+              f"(x{result['qerr_improvement']:.2f})")
     print(f"checks: {'all passed' if all(result['checks'].values()) else result['checks']}")
     return 0
 

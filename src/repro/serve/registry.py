@@ -42,9 +42,14 @@ class ModelVersion:
 class ModelRegistry:
     """Holds versioned UAE snapshots; reads are lock-free, swaps atomic."""
 
-    def __init__(self, estimator: UAE, keep_versions: int = 3):
+    def __init__(self, estimator: UAE, keep_versions: int = 3,
+                 name: str = "default"):
         if keep_versions < 1:
             raise ValueError("keep_versions must be >= 1")
+        # The namespace this registry serves under a MultiTableRegistry
+        # front door (one registry per table / join schema); purely a
+        # label for single-registry deployments.
+        self.name = str(name)
         self.keep_versions = int(keep_versions)
         self._lock = threading.Lock()
         self._versions: dict[int, ModelVersion] = {}

@@ -43,7 +43,9 @@ class UAEServer:
                  max_batch: int = 32, max_wait_ms: float = 2.0,
                  refine_epochs: int = 8, data_epochs: int = 3,
                  auto_refine: bool = False, seed: int = 0,
-                 train_backend: str | None = None):
+                 train_backend: str | None = None,
+                 namespace: str = "default", pool=None,
+                 expander=None, scale: float | None = None):
         # Refinement runs on the trainer's configured training backend —
         # the fused engine by default (see ``UAEConfig.train_backend``),
         # which is what keeps drift-triggered hot-swaps fresh under live
@@ -52,11 +54,26 @@ class UAEServer:
         if train_backend is not None:
             estimator.train_backend = train_backend
         self.trainer = estimator
-        self.registry = ModelRegistry(estimator, keep_versions=keep_versions)
+        # Multi-table wiring (see repro.serve.router): the namespace this
+        # server answers for, an optional shared RefinementPool that
+        # bounds trainer concurrency across namespaces, and the join
+        # translation hooks (constraint expander + cardinality scale)
+        # forwarded to the EstimateService and used again when feedback
+        # is ingested.
+        self.namespace = str(namespace)
+        self.pool = pool
+        self.expander = expander
+        self.scale = None if scale is None else float(scale)
+        if expander is not None and self.scale is None:
+            raise ValueError("an expander needs an explicit cardinality "
+                             "scale (feedback selectivities depend on it)")
+        self.registry = ModelRegistry(estimator, keep_versions=keep_versions,
+                                      name=namespace)
         self.cache = ResultCache(capacity=cache_capacity)
         self.service = EstimateService(self.registry, self.cache,
                                        max_batch=max_batch,
-                                       max_wait_ms=max_wait_ms, seed=seed)
+                                       max_wait_ms=max_wait_ms, seed=seed,
+                                       expander=expander, scale=scale)
         # Not `feedback or ...`: an empty collector is falsy (__len__).
         self.feedback = feedback if feedback is not None \
             else FeedbackCollector()
@@ -150,12 +167,18 @@ class UAEServer:
         """Drain feedback (and staged inserts) into Section 4.5 ingestion
         and hot-swap.
 
-        Returns the refinement record (inline) or the running thread
-        (background); ``None`` when a refinement is already in flight or
-        there is nothing to learn from.  The liveness check, drain, and
-        thread hand-off happen atomically under the refine lock, so
-        concurrent callers cannot double-spend the same feedback, spawn
-        duplicate refinements, or publish an empty version.
+        Returns the refinement record (inline) or the running thread /
+        pool job (background); ``None`` when a refinement is already in
+        flight or there is nothing to learn from.  The liveness check,
+        drain, and thread hand-off happen atomically under the refine
+        lock, so concurrent callers cannot double-spend the same
+        feedback, spawn duplicate refinements, or publish an empty
+        version.
+
+        With a shared :class:`~repro.serve.router.RefinementPool`
+        attached, background refinement queues on the pool instead of
+        spawning a thread per server — the pool's bounded workers are
+        the cross-namespace trainer-capacity cap.
         """
         with self._refine_lock:
             if self.refining:
@@ -165,6 +188,20 @@ class UAEServer:
             if (workload is None or len(workload) == 0) and not staged:
                 return None
             if background:
+                if self.pool is not None:
+                    try:
+                        job = self.pool.submit(self.namespace,
+                                               self._refine_now,
+                                               workload, staged, epochs)
+                    except RuntimeError:
+                        # Pool stopped between the caller's check and the
+                        # submit.  The feedback is already drained, so
+                        # dropping it here would lose those observations
+                        # for good (and crash auto_refine observers) —
+                        # refine inline instead.
+                        return self._refine_now(workload, staged, epochs)
+                    self._refine_thread = job
+                    return job
                 thread = threading.Thread(
                     target=self._refine_now,
                     args=(workload, staged, epochs),
@@ -185,8 +222,19 @@ class UAEServer:
                 rows += len(codes)
             sources = ["data"] if staged else []
             if workload is not None and len(workload) > 0:
-                self.trainer.ingest_queries(
-                    workload, epochs=epochs or self.refine_epochs)
+                if self.expander is None:
+                    self.trainer.ingest_queries(
+                        workload, epochs=epochs or self.refine_epochs)
+                else:
+                    # Join namespaces: feedback queries are JoinQuery-shaped,
+                    # so expand them with the namespace's translator and
+                    # normalize truths by the join size, not the sample
+                    # table's row count.
+                    constraints = [self.expander(self.trainer, q)
+                                   for q in workload.queries]
+                    sels = workload.cardinalities / self.scale
+                    self.trainer.ingest_constraints(
+                        constraints, sels, epochs=epochs or self.refine_epochs)
                 sources.append("query")
             mv = self.registry.publish(
                 self.trainer, source="+".join(sources) + "-refine")
@@ -233,7 +281,8 @@ class UAEServer:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        return {"service": self.service.stats(),
+        return {"namespace": self.namespace,
+                "service": self.service.stats(),
                 "feedback": self.feedback.stats(),
                 "registry": self.registry.history(),
                 "refinements": list(self.refinements)}

@@ -92,9 +92,18 @@ class EstimateService:
 
     def __init__(self, registry: ModelRegistry, cache: ResultCache | None = None,
                  *, max_batch: int = 32, max_wait_ms: float = 2.0,
-                 seed: int = 0, latency_window: int = 100_000):
+                 seed: int = 0, latency_window: int = 100_000,
+                 expander=None, scale: float | None = None):
         self.registry = registry
         self.cache = cache
+        # Query translation hooks for non-table namespaces (joins): an
+        # ``expander(model, query) -> constraints`` replaces the default
+        # mask expansion, and ``scale`` replaces ``table.num_rows`` as
+        # the selectivity -> cardinality multiplier (e.g. |J| for a join
+        # sample, where the snapshot's table is the sample, not the
+        # estimand).
+        self.expander = expander
+        self.scale = None if scale is None else float(scale)
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait_ms) / 1e3
         self._rng = np.random.default_rng(seed)
@@ -245,9 +254,10 @@ class EstimateService:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    @staticmethod
-    def _expand(snap: ModelVersion, query: Query) -> list:
+    def _expand(self, snap: ModelVersion, query: Query) -> list:
         model = snap.model
+        if self.expander is not None:
+            return self.expander(model, query)
         return model.fact.expand_masks(query.masks(model.table))
 
     def _compute(self, snap: ModelVersion, constraint_lists: list[list],
@@ -257,8 +267,13 @@ class EstimateService:
         with self._engine_lock:
             sels = sampler.scheduler.estimate_many(
                 constraint_lists, sampler.num_samples, rng)
-        num_rows = snap.model.table.num_rows
-        return np.clip(sels, 0.0, 1.0) * num_rows
+        if self.scale is not None:
+            # Join namespaces: match UAEJoin.estimate_many exactly —
+            # lower clip only, scaled by the outer join's size (the
+            # sample-selectivity estimand is not bounded by the sample
+            # table's row count the way a base table's is).
+            return np.maximum(sels, 0.0) * self.scale
+        return np.clip(sels, 0.0, 1.0) * snap.model.table.num_rows
 
     def _worker_loop(self) -> None:
         while not self._stop.is_set():

@@ -81,6 +81,21 @@ def conjunction(*predicates: Predicate) -> Query:
     return Query(tuple(predicates))
 
 
+def routing_signature(query) -> tuple[str, frozenset[str]]:
+    """The (kind, targets) signature the serving router keys on.
+
+    Join-shaped queries (anything carrying a non-empty ``tables``
+    attribute, e.g. :class:`repro.joins.JoinQuery`) route by the set of
+    tables they touch; single-table queries route by the set of columns
+    their predicates constrain.  Duck-typed so the workload layer does
+    not import the joins package.
+    """
+    tables = getattr(query, "tables", None)
+    if tables:
+        return "join", frozenset(tables)
+    return "table", frozenset(p.column for p in query.predicates)
+
+
 def query_from_ranges(table: Table,
                       ranges: dict[str, tuple[object, object]]) -> Query:
     """Convenience: build ``lo <= col <= hi`` conjunctions from a dict."""

@@ -1,11 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (trained models, generated tables/workloads, the
+tiny star schema) are session-scoped and shared across files — tests
+must treat them as immutable: ``.clone()`` a model before training on
+it, and never append rows to a shared table.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
+from repro.core import UAE
 from repro.data import Table, make_toy
+from repro.data.schema import ForeignKey, Schema
 from repro.workload import generate_inworkload, generate_random
 
 
@@ -37,6 +45,74 @@ def tiny_table() -> Table:
     b = (a + gen.choice(3, p=[0.6, 0.3, 0.1], size=n)) % 5
     c = gen.choice(3, p=[0.7, 0.2, 0.1], size=n)
     return Table.from_raw("tiny", {"a": a, "b": b, "c": c})
+
+
+# ----------------------------------------------------------------------
+# Shared trained models + canned workloads (promoted from per-file
+# duplicates; session scope keeps tier-1 from retraining per module).
+# ----------------------------------------------------------------------
+TINY_UAE_KW = dict(hidden=16, num_blocks=1, est_samples=32, dps_samples=4,
+                   batch_size=128, query_batch_size=8, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_uae(tiny_table) -> UAE:
+    """A small data-only-trained UAE on ``tiny_table`` (clone to mutate)."""
+    model = UAE(tiny_table, **TINY_UAE_KW)
+    model.fit(epochs=1, mode="data")
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_table):
+    """Canned labeled workload over ``tiny_table``."""
+    return generate_inworkload(tiny_table, 24, np.random.default_rng(11))
+
+
+@pytest.fixture(scope="session")
+def second_table() -> Table:
+    """A second small table with columns disjoint from ``tiny_table``'s
+    (clean column-set routing in multi-table tests)."""
+    gen = np.random.default_rng(23)
+    n = 700
+    x = gen.choice(5, p=[0.4, 0.3, 0.15, 0.1, 0.05], size=n)
+    y = (x + gen.choice(4, p=[0.5, 0.3, 0.15, 0.05], size=n)) % 6
+    z = gen.choice(3, p=[0.6, 0.25, 0.15], size=n)
+    return Table.from_raw("second", {"x": x, "y": y, "z": z})
+
+
+@pytest.fixture(scope="session")
+def second_uae(second_table) -> UAE:
+    model = UAE(second_table, **TINY_UAE_KW)
+    model.fit(epochs=1, mode="data")
+    return model
+
+
+@pytest.fixture(scope="session")
+def second_workload(second_table):
+    return generate_inworkload(second_table, 16, np.random.default_rng(29))
+
+
+@pytest.fixture(scope="session")
+def tiny_schema() -> Schema:
+    """A star small enough to materialise the full outer join by hand."""
+    title = Table.from_raw("title", {
+        "id": np.arange(6),
+        "production_year": np.array([1990, 1990, 2000, 2005, 2010, 2010]),
+        "kind_id": np.array([0, 1, 0, 1, 0, 1]),
+    })
+    mc = Table.from_raw("movie_companies", {
+        "movie_id": np.array([0, 0, 1, 3, 3, 3, 5]),
+        "company_id": np.array([10, 11, 10, 12, 12, 13, 10]),
+    })
+    mi = Table.from_raw("movie_info", {
+        "movie_id": np.array([0, 2, 2, 4, 5, 5]),
+        "info_type": np.array([1, 2, 2, 1, 3, 1]),
+    })
+    return Schema("tiny", {"title": title, "movie_companies": mc,
+                           "movie_info": mi},
+                  [ForeignKey("movie_companies", "movie_id", "title", "id"),
+                   ForeignKey("movie_info", "movie_id", "title", "id")])
 
 
 def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-4) -> np.ndarray:

@@ -13,26 +13,8 @@ from repro.joins import (JoinSampleScan, JoinQuery, NeuroCard, SPNJoin,
 from repro.workload import Predicate, qerrors
 
 
-@pytest.fixture(scope="module")
-def tiny_schema():
-    """A star small enough to materialise the full outer join by hand."""
-    title = Table.from_raw("title", {
-        "id": np.arange(6),
-        "production_year": np.array([1990, 1990, 2000, 2005, 2010, 2010]),
-        "kind_id": np.array([0, 1, 0, 1, 0, 1]),
-    })
-    mc = Table.from_raw("movie_companies", {
-        "movie_id": np.array([0, 0, 1, 3, 3, 3, 5]),
-        "company_id": np.array([10, 11, 10, 12, 12, 13, 10]),
-    })
-    mi = Table.from_raw("movie_info", {
-        "movie_id": np.array([0, 2, 2, 4, 5, 5]),
-        "info_type": np.array([1, 2, 2, 1, 3, 1]),
-    })
-    return Schema("tiny", {"title": title, "movie_companies": mc,
-                           "movie_info": mi},
-                  [ForeignKey("movie_companies", "movie_id", "title", "id"),
-                   ForeignKey("movie_info", "movie_id", "title", "id")])
+# ``tiny_schema`` is the session-scoped star-schema fixture in
+# conftest.py (shared with the serving-router suite).
 
 
 def materialized_outer_join_size(schema):

@@ -9,22 +9,20 @@ import pytest
 from repro.core import UAE
 from repro.serve import (EstimateService, FeedbackCollector, ModelRegistry,
                          ResultCache, UAEServer)
-from repro.workload import (RollingQErrorMonitor, generate_inworkload,
-                            qerrors, summarize)
+from repro.workload import RollingQErrorMonitor, qerrors
 
 
-@pytest.fixture(scope="module")
-def uae(tiny_table):
-    model = UAE(tiny_table, hidden=16, num_blocks=1, est_samples=32,
-                dps_samples=4, batch_size=128, query_batch_size=8, seed=0)
-    model.fit(epochs=1, mode="data")
-    return model
+# The trained model and workload are the session-scoped ``tiny_uae`` /
+# ``tiny_workload`` fixtures from conftest.py (shared with the router,
+# stress, and backend-matrix suites).
+@pytest.fixture
+def uae(tiny_uae):
+    return tiny_uae
 
 
-@pytest.fixture(scope="module")
-def workload(tiny_table):
-    rng = np.random.default_rng(11)
-    return generate_inworkload(tiny_table, 24, rng)
+@pytest.fixture
+def workload(tiny_workload):
+    return tiny_workload
 
 
 def perturb(model: UAE) -> None:

@@ -707,6 +707,13 @@ def run_serving_multi(profile: Profile | None = None) -> dict:
     return _run(profile)
 
 
+def run_serving_scale(profile: Profile | None = None) -> dict:
+    """Scale-out cluster scenario (standalone; also embedded in
+    BENCH_serve.json by the `serving` experiment)."""
+    from .serve_bench import run_scale_out as _run
+    return _run(profile)
+
+
 def run_training_bench(profile: Profile | None = None) -> dict:
     """Training-engine microbenchmark (writes BENCH_train.json)."""
     from .train_bench import run_training as _run
@@ -717,6 +724,7 @@ EXPERIMENTS = {
     "latency": run_infer_latency,
     "serving": run_serving,
     "serving_multi": run_serving_multi,
+    "serving_scale": run_serving_scale,
     "training": run_training_bench,
     "table1": capability_matrix,
     "sub_baselines": run_sub_baselines,

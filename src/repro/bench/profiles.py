@@ -44,6 +44,9 @@ class Profile:
     incremental_train: int = 80
     incremental_test: int = 30
     serve_stream_queries: int = 160  # steady-phase serving-bench stream
+    scale_datasets: tuple = ("dmv", "census", "kddcup", "toy")
+    scale_workers: tuple = (1, 2, 4)  # worker counts for the scale_out bench
+    scale_stream_queries: int = 320   # per-worker-count mixed stream length
     mscn_epochs: int = 60
     kde_budget_divisor: int = 1     # sample budget = uae_size / divisor
 
@@ -68,6 +71,8 @@ CI = Profile(
     join_test_queries=8, join_epochs=1, optimizer_queries=4,
     incremental_parts=2, incremental_train=24, incremental_test=12,
     serve_stream_queries=40,
+    scale_datasets=("census", "toy"), scale_workers=(1, 2),
+    scale_stream_queries=64,
     mscn_epochs=10,
 )
 
@@ -81,6 +86,8 @@ SMALL = Profile(
     join_test_queries=15, join_epochs=2, optimizer_queries=8,
     incremental_parts=3, incremental_train=30, incremental_test=12,
     serve_stream_queries=64,
+    scale_datasets=("census", "toy"), scale_workers=(1, 2),
+    scale_stream_queries=96,
     mscn_epochs=20,
 )
 

@@ -36,7 +36,9 @@ import numpy as np
 from ..core import UAE
 from ..data import Table, load
 from ..data.schema import make_imdb
-from ..serve import (FeedbackCollector, RoutedEstimateService, UAEServer,
+from ..serve import (HAVE_SHARED_MEMORY, ClusterEstimateService,
+                     FeedbackCollector, LoadShedError,
+                     RoutedEstimateService, UAEServer,
                      UnknownNamespaceError)
 from ..workload import (Predicate, Query, WorkloadConfig,
                         generate_inworkload, summarize)
@@ -268,15 +270,227 @@ def run_multi_table(profile: Profile | None = None,
             **payload}
 
 
+def run_scale_out(profile: Profile | None = None,
+                  raise_on_failure: bool = True) -> dict:
+    """The scale-out serving scenario: N shared-nothing worker processes
+    behind a :class:`~repro.serve.ClusterEstimateService`.
+
+    Measures aggregate throughput of the same seeded mixed stream at
+    each worker count in ``profile.scale_workers`` and verifies:
+
+    * **bit-parity** — the cluster's seeded mixed batch equals the
+      single-process :class:`~repro.serve.RoutedEstimateService` on the
+      parity slice, per query;
+    * **swap propagation** — a zero-copy publish (one shared-memory
+      serialization, per-worker rebuild) reaches the owning worker in
+      under 250 ms, for every namespace;
+    * **post-swap parity** — after the publish, the swapped namespace's
+      seeded answers match a direct engine reference on the *new*
+      weights (the version-counter contract crossed the process
+      boundary);
+    * **overload** — under a saturating deadline burst, rejected
+      requests are typed ``LoadShedError`` sheds, never failures.
+
+    The 4-vs-1-worker throughput check (>= 2.5x) is only enforced when
+    the host actually has >= 4 cores; on smaller machines the run still
+    executes every worker count but gates on a sanity floor instead and
+    records ``cpu_limited: true`` in the artifact — a 1-core container
+    cannot demonstrate parallel speedup honestly.
+    """
+    profile = profile or current_profile()
+    if not HAVE_SHARED_MEMORY:      # pragma: no cover - platform gate
+        return {"title": "Scale-out serving (skipped: no shared_memory)",
+                "skipped": True, "checks": {}, "rows": [], "columns": []}
+    rng = np.random.default_rng(777)
+    datasets = tuple(profile.scale_datasets)
+    workers = tuple(int(w) for w in profile.scale_workers)
+    cores = os.cpu_count() or 1
+    uae_kwargs = dict(hidden=profile.hidden, num_blocks=profile.num_blocks,
+                      est_samples=profile.est_samples,
+                      dps_samples=max(4, profile.dps_samples),
+                      batch_size=profile.batch_size,
+                      query_batch_size=profile.query_batch_size)
+
+    estimators: dict[str, UAE] = {}
+    pools: dict[str, list] = {}
+    n_each = max(16, profile.scale_stream_queries // len(datasets))
+    for i, name in enumerate(datasets):
+        table = load(name, rows=profile.dataset_rows(name))
+        uae = UAE(table, seed=i, **uae_kwargs)
+        uae.fit(epochs=max(1, profile.epochs // 3), mode="data")
+        estimators[name] = uae
+        pools[name] = list(generate_inworkload(table, n_each, rng).queries)
+
+    # Interleaved mixed stream: every wave touches every namespace, so
+    # multi-worker runs get concurrent per-namespace groups to spread.
+    mixed: list = []
+    remaining = {name: list(queries) for name, queries in pools.items()}
+    k = 0
+    while any(remaining.values()):
+        name = datasets[k % len(datasets)]
+        if remaining[name]:
+            mixed.append(remaining[name].pop(0))
+        k += 1
+    parity_slice = mixed[:min(len(mixed), _PROBES * len(datasets))]
+
+    # Single-process reference for the parity slice.
+    front = RoutedEstimateService(max_batch=32, max_wait_ms=2.0, seed=7)
+    for name in datasets:
+        front.add_table(estimators[name])
+    with front:
+        parity_ref = front.estimate_batch(parity_slice, seed=_SEED,
+                                          use_cache=False)
+
+    checks: dict[str, bool] = {}
+    rows: list[dict] = []
+    qps: dict[int, float] = {}
+    parity_ok = True
+    publishes: list[dict] = []
+    post_swap_ok = True
+    shed_stats: dict = {}
+
+    for n in workers:
+        cluster = ClusterEstimateService(workers=n, queue_depth=4, seed=7)
+        for name in datasets:
+            cluster.add_table(estimators[name])
+        with cluster:
+            placement = cluster.assignment()
+            # Parity on the seeded slice (every worker count must agree
+            # with the single-process reference bit-for-bit).
+            got = cluster.estimate_batch(parity_slice, seed=_SEED)
+            parity_ok = parity_ok and bool(np.array_equal(got, parity_ref))
+            # Aggregate throughput: closed-loop waves of the full mixed
+            # stream; each wave fans out per-namespace groups across the
+            # workers.
+            start = time.perf_counter()
+            for lo in range(0, len(mixed), _WAVE):
+                cluster.estimate_batch(mixed[lo:lo + _WAVE])
+            elapsed = time.perf_counter() - start
+            qps[n] = len(mixed) / elapsed
+            stats = cluster.stats()
+
+            if n == workers[-1]:
+                # Zero-copy swap propagation: republish every namespace
+                # (weights changed by one refinement epoch) and verify
+                # the rebuilt workers answer from the new weights.
+                for name in datasets:
+                    refined = estimators[name]
+                    refined.fit(epochs=1, mode="data")
+                    publishes.append(cluster.publish(name, refined))
+                for name in datasets:
+                    sub = [q for q in parity_slice
+                           if cluster.resolve(q) == name]
+                    if not sub:
+                        continue
+                    got_post = cluster.estimate_batch(sub, seed=_SEED)
+                    refined = estimators[name]
+                    constraints = [
+                        refined.fact.expand_masks(q.masks(refined.table))
+                        for q in sub]
+                    sels = refined.sampler.scheduler.estimate_many(
+                        constraints, refined.sampler.num_samples,
+                        np.random.default_rng(_SEED))
+                    ref_post = np.clip(sels, 0.0, 1.0) \
+                        * refined.table.num_rows
+                    post_swap_ok = post_swap_ok and bool(
+                        np.array_equal(got_post, ref_post))
+            zero_failed = stats["failures"] == 0 \
+                and stats["unavailable"] == 0
+            rows.append({"workers": n, "queries": len(mixed),
+                         "qps": qps[n],
+                         "namespaces": len(datasets),
+                         "distinct_owners": len(set(placement.values())),
+                         "failures": stats["failures"],
+                         "sheds": stats["sheds"]})
+            checks[f"zero_failed_{n}w"] = zero_failed
+
+    # Overload segment: a saturating deadline burst against a
+    # queue_depth-1 cluster.  Every rejected request must be a typed
+    # shed; none may surface as a failure.
+    overload = ClusterEstimateService(workers=min(2, max(workers)),
+                                      queue_depth=1, seed=7)
+    for name in datasets:
+        overload.add_table(estimators[name])
+    with overload:
+        burst_ns = datasets[0]
+        burst = (pools[burst_ns] * 3)[:max(48, _WAVE)]
+        overload.estimate_batch(burst[:8])     # warm the latency EWMA
+        requests = [overload.submit(q, deadline_ms=1.0) for q in burst]
+        shed, ok, other = 0, 0, 0
+        for request in requests:
+            try:
+                request.result(timeout=60.0)
+                ok += 1
+            except LoadShedError:
+                shed += 1
+            except Exception:               # noqa: BLE001 - counted below
+                other += 1
+        over_stats = overload.stats()
+        shed_stats = {"burst": len(burst), "answered": ok, "shed": shed,
+                      "untyped_errors": other,
+                      "failures": over_stats["failures"],
+                      "saturations": over_stats["saturations"]}
+    checks["parity_vs_single_process"] = parity_ok
+    checks["post_swap_parity"] = post_swap_ok
+    max_prop = max((p["propagation_ms"] for p in publishes), default=0.0)
+    checks["swap_propagation_under_250ms"] = max_prop < 250.0
+    checks["overload_sheds_typed"] = shed > 0 and other == 0 \
+        and shed_stats["failures"] == 0
+    cpu_limited = cores < max(workers)
+    if not cpu_limited and max(workers) >= 4:
+        checks["scale_throughput"] = \
+            qps[max(workers)] >= 2.5 * qps[min(workers)]
+    else:
+        # A host with fewer cores than workers cannot show parallel
+        # speedup; gate on a sanity floor (multi-process dispatch must
+        # not collapse throughput) and record the limitation.
+        checks["scale_throughput"] = \
+            qps[max(workers)] >= 0.5 * qps[min(workers)]
+
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "profile": profile.name,
+        "datasets": list(datasets),
+        "worker_counts": list(workers),
+        "cpu_count": cores,
+        "cpu_limited": cpu_limited,
+        "stream_queries": len(mixed),
+        "parity_queries": len(parity_slice),
+        "qps_by_workers": {str(n): qps[n] for n in workers},
+        "speedup_max_vs_1": qps[max(workers)] / qps[min(workers)],
+        "publishes": publishes,
+        "max_propagation_ms": max_prop,
+        "overload": shed_stats,
+        "checks": checks,
+        "rows": rows,
+    }
+    failed = [name for name, ok_ in checks.items() if not ok_]
+    if failed and raise_on_failure:
+        raise RuntimeError(
+            f"scale-out serving invariants violated: {failed} "
+            f"[qps {payload['qps_by_workers']}; max propagation "
+            f"{max_prop:.1f} ms; overload {shed_stats}]")
+    return {"title": "Scale-out serving: shared-nothing workers, "
+                     "zero-copy hot-swap, load-shedding balancer "
+                     f"(profile={profile.name})",
+            "columns": ["workers", "queries", "qps", "namespaces",
+                        "distinct_owners", "failures", "sheds"],
+            **payload}
+
+
 def run_serving(profile: Profile | None = None,
                 write_artifact: bool = True,
-                include_multi_table: bool = True) -> dict:
+                include_multi_table: bool = True,
+                include_scale_out: bool = True) -> dict:
     """The serving scenario; returns the usual experiment dict.
 
     After the single-table loop, the multi-table front-door scenario
     (:func:`run_multi_table`) runs too; its payload lands in the
     artifact under ``"multi_table"`` and its checks join the gate with
-    an ``mt_`` prefix.
+    an ``mt_`` prefix.  The scale-out cluster scenario
+    (:func:`run_scale_out`) follows under ``"scale_out"`` with an
+    ``so_`` prefix (skipped automatically where
+    ``multiprocessing.shared_memory`` is unavailable).
     """
     profile = profile or current_profile()
     rng = np.random.default_rng(2024)
@@ -480,6 +694,15 @@ def run_serving(profile: Profile | None = None,
                      "version": row["version"]}
                     for row in multi["rows"])
 
+    scale = None
+    if include_scale_out:
+        scale = run_scale_out(profile, raise_on_failure=False)
+        checks.update({f"so_{name}": ok
+                       for name, ok in scale["checks"].items()})
+        rows.extend({"phase": f"so:{row['workers']}w",
+                     "queries": row["queries"], "qps": row["qps"]}
+                    for row in scale.get("rows", []))
+
     infer_reference = None
     if os.path.exists(BENCH_INFER_PATH):
         try:
@@ -519,6 +742,9 @@ def run_serving(profile: Profile | None = None,
     if multi is not None:
         payload["multi_table"] = {k: v for k, v in multi.items()
                                   if k not in ("title", "columns")}
+    if scale is not None:
+        payload["scale_out"] = {k: v for k, v in scale.items()
+                                if k not in ("title", "columns")}
     if write_artifact:
         try:
             with open(BENCH_SERVE_PATH, "w") as fh:

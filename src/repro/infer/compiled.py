@@ -37,6 +37,91 @@ import numpy as np
 
 from ..nn.made import ResMADE
 
+# ----------------------------------------------------------------------
+# Flat snapshot buffer layout
+# ----------------------------------------------------------------------
+# A weight snapshot (``Module.state_dict`` — the exact arrays the fused
+# ``weight * mask`` compilation derives from) can be laid out in one flat
+# byte buffer: every array at a fixed, 64-byte-aligned offset, in sorted
+# key order so the layout is a pure function of the model architecture.
+# The scale-out serving tier (:mod:`repro.serve.snapshot`) publishes one
+# such buffer per namespace into ``multiprocessing.shared_memory``;
+# worker processes map it and rebuild their :class:`CompiledModel` from
+# the decoded state (``load_state_dict`` bumps every parameter version,
+# so ``ensure_current`` recompiles — the same invalidation contract that
+# governs in-process training).  Because the layout depends only on the
+# key/dtype/shape set, one segment is sized once and republished in
+# place for every subsequent version of the same model.
+
+STATE_ALIGN = 64    # per-array alignment inside the flat buffer
+
+
+def _align(offset: int) -> int:
+    return -(-offset // STATE_ALIGN) * STATE_ALIGN
+
+
+def state_layout(state: dict[str, np.ndarray]) -> tuple[list[dict], int]:
+    """Deterministic flat layout for a state dict.
+
+    Returns ``(entries, total_bytes)`` where each entry is
+    ``{"name", "dtype", "shape", "offset", "nbytes"}`` — JSON-safe, so a
+    decoder needs only the entry table and the raw bytes.
+    """
+    entries: list[dict] = []
+    offset = 0
+    for name in sorted(state):
+        # Not ascontiguousarray: that would promote 0-d arrays to (1,).
+        arr = np.asarray(state[name])
+        if not arr.flags["C_CONTIGUOUS"]:
+            arr = np.ascontiguousarray(arr)
+        offset = _align(offset)
+        entries.append({"name": name, "dtype": arr.dtype.str,
+                        "shape": list(arr.shape), "offset": offset,
+                        "nbytes": int(arr.nbytes)})
+        offset += arr.nbytes
+    return entries, _align(offset)
+
+
+def pack_state(state: dict[str, np.ndarray], buf,
+               entries: list[dict]) -> None:
+    """Copy every array's bytes into ``buf`` at its layout offset."""
+    view = np.frombuffer(buf, dtype=np.uint8)
+    for entry in entries:
+        arr = np.asarray(state[entry["name"]])
+        if not arr.flags["C_CONTIGUOUS"]:
+            arr = np.ascontiguousarray(arr)
+        if arr.dtype.str != entry["dtype"] \
+                or list(arr.shape) != list(entry["shape"]):
+            raise ValueError(
+                f"array {entry['name']!r} does not match the buffer "
+                f"layout ({arr.dtype.str}{arr.shape} != "
+                f"{entry['dtype']}{tuple(entry['shape'])})")
+        lo = entry["offset"]
+        view[lo:lo + entry["nbytes"]] = arr.reshape(-1).view(np.uint8)
+
+
+def unpack_state(buf, entries: list[dict],
+                 copy: bool = True) -> dict[str, np.ndarray]:
+    """Rebuild the state dict from a flat buffer.
+
+    ``copy=False`` returns zero-copy views into ``buf`` — valid only
+    while the buffer is mapped and not being republished; consumers that
+    hold the arrays past that window (``load_state_dict`` copies anyway)
+    should pass ``copy=True``.
+    """
+    out: dict[str, np.ndarray] = {}
+    for entry in entries:
+        dtype = np.dtype(entry["dtype"])
+        count = int(np.prod(entry["shape"], dtype=np.int64))
+        if count == 0:
+            out[entry["name"]] = np.empty(entry["shape"], dtype=dtype)
+            continue
+        flat = np.frombuffer(buf, dtype=dtype, count=count,
+                             offset=entry["offset"])
+        arr = flat.reshape(entry["shape"])
+        out[entry["name"]] = arr.copy() if copy else arr
+    return out
+
 
 class CompiledModel:
     """Read-optimised snapshot of a ResMADE for gradient-free inference."""

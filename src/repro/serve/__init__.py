@@ -20,26 +20,40 @@ Five cooperating pieces (see the README's "Serving" section):
   :class:`MultiTableRegistry` keys one registry per table / join-schema
   *namespace*, :class:`RoutedEstimateService` routes each query to its
   namespace's micro-batcher, and :class:`RefinementPool` bounds
-  background-refinement capacity fairly across namespaces.
+  background-refinement capacity fairly across namespaces;
+* the scale-out tier (:mod:`repro.serve.cluster`):
+  :class:`ClusterEstimateService` fronts N shared-nothing worker
+  processes, placing namespaces by consistent hashing
+  (:mod:`repro.serve.placement`) and publishing hot-swaps zero-copy
+  through per-namespace ``shared_memory`` segments
+  (:mod:`repro.serve.snapshot`).
 
 ``python -m repro.serve`` drives a shifting workload through the full
-loop (pass several ``--datasets`` for the multi-table front door);
+loop (pass several ``--datasets`` for the multi-table front door, or
+``--workers N`` for the scale-out cluster);
 ``python -m repro.bench serving`` is the benchmarked version that
 writes ``BENCH_serve.json``.
 """
 
 from .cache import ResultCache
+from .cluster import ClusterEstimateService, ClusterRequest, LoadShedError
 from .feedback import FeedbackCollector
+from .placement import HashRing, WorkerUnavailableError
 from .registry import ModelRegistry, ModelVersion
 from .router import (AmbiguousNamespaceError, MultiTableRegistry, Namespace,
                      RefinementJob, RefinementPool, RoutedEstimateService,
                      RoutingError, UnknownNamespaceError)
 from .server import UAEServer
 from .service import EstimateRequest, EstimateService
+from .snapshot import (HAVE_SHARED_MEMORY, SharedSnapshot, SnapshotCodec,
+                       SnapshotTornError)
 
 __all__ = ["ModelRegistry", "ModelVersion", "EstimateService",
            "EstimateRequest", "ResultCache", "FeedbackCollector",
            "UAEServer", "MultiTableRegistry", "Namespace",
            "RoutedEstimateService", "RefinementPool", "RefinementJob",
            "RoutingError", "UnknownNamespaceError",
-           "AmbiguousNamespaceError"]
+           "AmbiguousNamespaceError", "ClusterEstimateService",
+           "ClusterRequest", "LoadShedError", "HashRing",
+           "WorkerUnavailableError", "SharedSnapshot", "SnapshotCodec",
+           "SnapshotTornError", "HAVE_SHARED_MEMORY"]

@@ -14,6 +14,12 @@ synthetic IMDB join schema behind a single ``RoutedEstimateService``,
 checking mixed-stream routing parity and the namespace-isolation
 invariant (a hot-swap in one namespace leaves every other namespace's
 per-version seeded answers bit-identical).
+
+With ``--workers N``, the scale-out cluster scenario runs instead:
+the profile's scale datasets served by 1 and then N shared-nothing
+worker processes behind a ``ClusterEstimateService``, checking
+bit-parity with single-process serving, zero-copy swap propagation,
+and typed load shedding under overload.
 """
 
 from __future__ import annotations
@@ -21,10 +27,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 
 from ..bench.profiles import PROFILES
 from ..bench.reporting import format_table
-from ..bench.serve_bench import run_multi_table, run_serving
+from ..bench.serve_bench import run_multi_table, run_scale_out, run_serving
 from ..data.datasets import DATASETS
 
 
@@ -43,6 +50,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="serve these tables (plus the synthetic join "
                              "schema) as namespaces behind the multi-table "
                              "front door instead of the single-table loop")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run the scale-out cluster scenario with 1 "
+                             "and N shared-nothing worker processes "
+                             "instead of the single-process loop")
     parser.add_argument("--no-artifact", action="store_true",
                         help="skip writing BENCH_serve.json "
                              "(--datasets runs never write it)")
@@ -50,8 +61,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="dump the full result payload as JSON")
     args = parser.parse_args(argv)
 
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
     try:
-        if args.datasets:
+        if args.workers is not None:
+            profile = PROFILES[args.profile]
+            counts = (1,) if args.workers == 1 else (1, args.workers)
+            result = run_scale_out(replace(profile,
+                                           scale_workers=counts))
+        elif args.datasets:
             # Dedupe (order-preserving): each dataset is one namespace,
             # and namespaces must be unique.
             datasets = tuple(dict.fromkeys(args.datasets))
@@ -69,7 +87,16 @@ def main(argv: list[str] | None = None) -> int:
                          indent=2, default=str))
     print(format_table(result["rows"], result["columns"],
                        title=result["title"]))
-    if args.datasets:
+    if args.workers is not None:
+        qps = result["qps_by_workers"]
+        print(f"\ncluster q/s by worker count: "
+              + ", ".join(f"{n}w {v:.0f}" for n, v in qps.items())
+              + f" | max swap propagation "
+                f"{result['max_propagation_ms']:.1f} ms | overload: "
+                f"{result['overload']['shed']} shed (typed), "
+                f"{result['overload']['failures']} failures"
+              + (" | cpu-limited host" if result["cpu_limited"] else ""))
+    elif args.datasets:
         print(f"\nfront door {result['front_door_qps']:.0f} q/s over "
               f"{result['mixed_stream_queries']} mixed queries across "
               f"{len(result['namespaces'])} namespaces | hot-swap in "

@@ -1,0 +1,777 @@
+"""Sharded scale-out serving tier: shared-nothing workers + balancer.
+
+One Python process is the serving ceiling no matter how fast the hot
+paths get — the GIL serialises every micro-batch.  This module goes from
+one process to N:
+
+* **Shared-nothing workers** — each :func:`_worker_main` process hosts a
+  subset of namespaces (its own UAE models, compiled engines, sampling
+  streams; nothing shared but the snapshot segments), assigned by
+  consistent-hash placement (:mod:`repro.serve.placement`), so the
+  per-namespace isolation contract from the single-process front door
+  carries over verbatim: namespaces on different workers cannot perturb
+  each other by construction.
+* **Zero-copy snapshot publication** — a hot-swap serialises the fused
+  weight-source state once into the namespace's
+  ``multiprocessing.shared_memory`` segment
+  (:class:`~repro.serve.snapshot.SharedSnapshot`); owning workers get a
+  tiny ``publish`` control message, attach the buffer, and rebuild their
+  :class:`~repro.infer.compiled.CompiledModel` from it.  The PR 1
+  version-counter contract crosses the process boundary intact:
+  ``load_state_dict`` bumps every parameter version in the worker, which
+  invalidates and recompiles its engine exactly as in-process training
+  would.
+* **Load-shedding balancer** — :class:`ClusterEstimateService` routes by
+  :func:`~repro.workload.predicate.routing_signature`, applies
+  backpressure through bounded per-worker in-flight windows, and when a
+  worker saturates sheds *deadline-first*: a request whose remaining
+  budget cannot cover the queue wait plus the worker's observed batch
+  latency fails immediately with a typed :class:`LoadShedError` (never a
+  silent late answer, never an untyped crash), while deadline-free
+  requests simply wait for a slot.
+
+Crash containment: a dead worker surfaces as a typed
+:class:`~repro.serve.placement.WorkerUnavailableError` on every request
+routed to it; :meth:`ClusterEstimateService.recover` removes it from the
+ring (moving only ~1/N namespaces), re-adopts the displaced namespaces
+on the survivors from the retained snapshot segments, and serving
+resumes bit-identically — the model state lives in shared memory, not in
+the dead process.
+
+Determinism: a seeded ``estimate_batch`` groups queries by namespace in
+stream order and sends each namespace group as one batch, so answers are
+bit-identical to the single-process
+:class:`~repro.serve.router.RoutedEstimateService` on the same stream —
+the parity invariant the scale-out bench checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from ..workload.predicate import routing_signature
+from .placement import HashRing, WorkerUnavailableError
+from .router import AmbiguousNamespaceError, UnknownNamespaceError
+from .snapshot import HAVE_SHARED_MEMORY, SharedSnapshot
+
+
+class LoadShedError(RuntimeError):
+    """Typed rejection: the cluster is saturated and the request's
+    deadline cannot be met — retry later or relax the deadline.  Shed
+    requests are accounted separately from failures."""
+
+
+def _limit_blas_threads(n: int = 1) -> None:
+    """Pin the worker's BLAS pool: shared-nothing scaling wants one core
+    per worker, not every worker fighting over one threaded GEMM pool."""
+    for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                "MKL_NUM_THREADS"):
+        os.environ.setdefault(var, str(n))
+    try:                                   # already-loaded OpenBLAS
+        import ctypes
+        lib = ctypes.CDLL(None)
+        for sym in ("openblas_set_num_threads64_",
+                    "openblas_set_num_threads"):
+            fn = getattr(lib, sym, None)
+            if fn is not None:
+                fn(int(n))
+                break
+    except Exception:                      # noqa: BLE001 - best effort
+        pass
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(worker_id: str, request_q, response_q) -> None:
+    """One shared-nothing worker: adopt namespaces, serve batches,
+    re-read snapshot segments on publish.  Runs until a ``stop`` message
+    (or the process is killed — the balancer contains the crash)."""
+    _limit_blas_threads(1)
+    from ..core.uae import UAE             # deferred: cheap worker spawn
+
+    models: dict[str, UAE] = {}
+    buffers: dict[str, SharedSnapshot] = {}
+    versions: dict[str, int] = {}
+    rngs: dict[str, np.random.Generator] = {}
+    served = 0
+
+    def respond(req_id, status, payload=None) -> None:
+        try:
+            response_q.put((worker_id, req_id, status, payload))
+        except (ValueError, OSError):      # parent gone: nothing to do
+            pass
+
+    while True:
+        msg = request_q.get()
+        req_id, kind = msg[0], msg[1]
+        if kind == "stop":
+            break
+        try:
+            if kind == "adopt":
+                namespace, table, config, order, shm_name, seed = msg[2:]
+                t0 = time.perf_counter()
+                estimator = UAE(table, config)
+                if order is not None:
+                    # The parent's *realized* column order (keeps
+                    # "random"-order models bit-identical).
+                    estimator._init_model_stack(list(order))
+                buf = SharedSnapshot.attach(shm_name)
+                version, state = buf.read(timeout=5.0)
+                estimator.model.load_state_dict(state)
+                estimator.sampler.engine.compiled.ensure_current()
+                stale = buffers.pop(namespace, None)
+                if stale is not None:
+                    stale.close()
+                models[namespace] = estimator
+                buffers[namespace] = buf
+                versions[namespace] = version
+                rngs[namespace] = np.random.default_rng(
+                    [int(seed), len(namespace)])
+                respond(req_id, "ok",
+                        (version, time.perf_counter() - t0))
+            elif kind == "publish":
+                namespace = msg[2]
+                t0 = time.perf_counter()
+                version, state = buffers[namespace].read(timeout=5.0)
+                # load_state_dict bumps parameter versions ->
+                # ensure_current() rebuilds the fused CompiledModel from
+                # the new weights: the in-process invalidation contract,
+                # driven across the process boundary by one flat buffer.
+                models[namespace].model.load_state_dict(state)
+                models[namespace].sampler.engine.compiled.ensure_current()
+                versions[namespace] = version
+                respond(req_id, "ok",
+                        (version, time.perf_counter() - t0))
+            elif kind == "batch":
+                namespace, queries, seed, deadline = msg[2:]
+                if deadline is not None \
+                        and time.perf_counter() > deadline:
+                    respond(req_id, "shed",
+                            "deadline expired while queued")
+                    continue
+                estimator = models.get(namespace)
+                if estimator is None:
+                    respond(req_id, "err", KeyError(
+                        f"namespace {namespace!r} not adopted by "
+                        f"worker {worker_id}"))
+                    continue
+                t0 = time.perf_counter()
+                constraints = [
+                    estimator.fact.expand_masks(q.masks(estimator.table))
+                    for q in queries]
+                rng = np.random.default_rng(seed) if seed is not None \
+                    else rngs[namespace]
+                sels = estimator.sampler.scheduler.estimate_many(
+                    constraints, estimator.sampler.num_samples, rng)
+                cards = np.clip(sels, 0.0, 1.0) \
+                    * estimator.table.num_rows
+                served += len(queries)
+                respond(req_id, "ok", (cards, versions[namespace],
+                                       time.perf_counter() - t0))
+            elif kind == "ping":
+                respond(req_id, "ok", {
+                    "worker": worker_id, "pid": os.getpid(),
+                    "served": served, "versions": dict(versions)})
+            else:
+                respond(req_id, "err",
+                        ValueError(f"unknown message kind {kind!r}"))
+        except BaseException as exc:       # noqa: BLE001 - typed to parent
+            try:
+                respond(req_id, "err", exc)
+            except Exception:              # unpicklable exception
+                respond(req_id, "err", RuntimeError(repr(exc)))
+    for buf in buffers.values():
+        buf.close()
+
+
+# ----------------------------------------------------------------------
+# Futures + handles
+# ----------------------------------------------------------------------
+class ClusterRequest:
+    """A single in-flight cluster call; future-like, mirrors
+    :class:`~repro.serve.service.EstimateRequest`."""
+
+    __slots__ = ("namespace", "count", "deadline", "single",
+                 "submitted_at", "completed_at", "version", "worker",
+                 "shed", "_event", "_value", "_error")
+
+    def __init__(self, namespace: str, count: int,
+                 deadline: float | None, single: bool = False):
+        self.namespace = namespace
+        self.count = count
+        self.deadline = deadline           # absolute perf_counter time
+        self.single = single
+        self.submitted_at = time.perf_counter()
+        self.completed_at: float | None = None
+        self.version: int | None = None
+        self.worker: str | None = None
+        self.shed = False
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def _complete(self, value, version: int | None,
+                  worker: str | None) -> None:
+        self._value = value
+        self.version = version
+        self.worker = worker
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def _fail(self, error: BaseException, shed: bool = False) -> None:
+        self._error = error
+        self.shed = shed
+        self.completed_at = time.perf_counter()
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """The estimate (float for ``submit``, array for batch
+        dispatch); raises the request's typed error — ``LoadShedError``
+        when shed, ``WorkerUnavailableError`` when the owner died."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("cluster request not ready")
+        if self._error is not None:
+            raise self._error
+        if self.single:
+            return float(np.asarray(self._value).reshape(-1)[0])
+        return self._value
+
+    def latency(self) -> float | None:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker: process, queue, in-flight window."""
+
+    def __init__(self, worker_id: str, process, request_q,
+                 queue_depth: int):
+        self.worker_id = worker_id
+        self.process = process
+        self.request_q = request_q
+        self.queue_depth = int(queue_depth)
+        self.slots = threading.BoundedSemaphore(self.queue_depth)
+        self.in_flight = 0
+        self.ewma_seconds: float | None = None   # observed batch latency
+        self.dispatched = 0
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def observe_latency(self, seconds: float) -> None:
+        if self.ewma_seconds is None:
+            self.ewma_seconds = seconds
+        else:
+            self.ewma_seconds = 0.75 * self.ewma_seconds + 0.25 * seconds
+
+
+# ----------------------------------------------------------------------
+# The balancer
+# ----------------------------------------------------------------------
+class ClusterEstimateService:
+    """Front-door balancer over N shared-nothing worker processes.
+
+    Lifecycle: ``add_table`` every namespace, then ``start()`` (spawns
+    workers, assigns namespaces via bounded-load consistent hashing,
+    ships each worker its namespaces' tables + configs and the shared
+    snapshot segments), serve, ``stop()``.  ``publish`` hot-swaps a
+    namespace by republishing its segment in place and pinging the
+    owning worker; ``recover`` heals after a worker crash.
+
+    ``queue_depth`` bounds the number of un-acked batches per worker —
+    the backpressure window.  When the window is full, deadline-free
+    calls block for a slot while deadlined calls are shed as soon as
+    their remaining budget drops under the worker's observed batch
+    latency (deadline-first shedding: the requests that cannot make it
+    are dropped immediately, typed, before any compute is wasted on
+    them).
+    """
+
+    def __init__(self, *, workers: int = 2, queue_depth: int = 4,
+                 vnodes: int = 64, balance: float | None = 1.0,
+                 seed: int = 0, start_method: str | None = None,
+                 request_timeout: float = 120.0, name: str = "cluster"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.num_workers = int(workers)
+        self.queue_depth = int(queue_depth)
+        self.balance = balance
+        self.request_timeout = float(request_timeout)
+        self.name = str(name)
+        self._seed = int(seed)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self._ring = HashRing(vnodes=vnodes)
+        self._specs: "OrderedDict[str, dict]" = OrderedDict()
+        self._snapshots: dict[str, SharedSnapshot] = {}
+        self._versions: dict[str, int] = {}
+        self._assignment: dict[str, str] = {}
+        self._handles: dict[str, _WorkerHandle] = {}
+        self._response_q = None
+        self._collector: threading.Thread | None = None
+        self._collector_stop = threading.Event()
+        self._pending: dict[int, tuple[ClusterRequest, _WorkerHandle,
+                                       bool]] = {}
+        self._req_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._dead: list[str] = []
+        self._running = False
+        self.served = 0
+        self.sheds = 0
+        self.failures = 0
+        self.unavailable = 0
+        self.saturations = 0
+        self.publishes = 0
+
+    # ------------------------------------------------------------------
+    # Namespace registration
+    # ------------------------------------------------------------------
+    def add_table(self, estimator, *, namespace: str | None = None) -> str:
+        """Register a single-table namespace served from ``estimator``'s
+        current weights (snapshotted into a shared segment).  Must be
+        called before :meth:`start`."""
+        if self._running:
+            raise RuntimeError("add_table() before start(): live "
+                               "namespace migration is not supported")
+        name = namespace or estimator.table.name
+        if name in self._specs:
+            raise ValueError(f"namespace {name!r} already registered")
+        snap = SharedSnapshot.create(estimator.model.state_dict(),
+                                     version=1)
+        self._specs[name] = {
+            "table": estimator.table,
+            "config": estimator.config,
+            "order": list(estimator.model.order),
+            "columns": frozenset(estimator.table.column_names),
+        }
+        self._snapshots[name] = snap
+        self._versions[name] = 1
+        return name
+
+    def namespaces(self) -> list[str]:
+        return list(self._specs)
+
+    def version(self, namespace: str) -> int:
+        return self._versions[namespace]
+
+    def assignment(self) -> dict[str, str]:
+        return dict(self._assignment)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterEstimateService":
+        if self._running:
+            return self
+        if not HAVE_SHARED_MEMORY:
+            raise RuntimeError("scale-out serving needs "
+                               "multiprocessing.shared_memory")
+        if not self._specs:
+            raise RuntimeError("no namespaces registered")
+        self._response_q = self._ctx.Queue()
+        for i in range(self.num_workers):
+            worker_id = f"w{i}"
+            request_q = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, request_q, self._response_q),
+                name=f"{self.name}-{worker_id}", daemon=True)
+            process.start()
+            self._handles[worker_id] = _WorkerHandle(
+                worker_id, process, request_q, self.queue_depth)
+            self._ring.add(worker_id)
+        # Collector starts strictly after every fork: forking a process
+        # while parent threads hold queue locks can deadlock the child.
+        self._collector_stop.clear()
+        self._collector = threading.Thread(
+            target=self._collect_loop, name=f"{self.name}-collector",
+            daemon=True)
+        self._collector.start()
+        self._running = True
+        self._assignment = self._ring.assign(self._specs,
+                                             balance=self.balance)
+        acks = [(ns, self._adopt_async(ns)) for ns in self._specs]
+        for ns, request in acks:
+            request.result(timeout=self.request_timeout)
+        return self
+
+    def stop(self) -> None:
+        if not self._running and not self._handles:
+            return
+        self._running = False
+        for handle in self._handles.values():
+            try:
+                handle.request_q.put((0, "stop"))
+            except (ValueError, OSError):
+                pass
+        for handle in self._handles.values():
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+        self._collector_stop.set()
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+            self._collector = None
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for request, _handle, _is_batch in pending:
+            request._fail(RuntimeError("cluster stopped"))
+        for handle in self._handles.values():
+            handle.request_q.close()
+            handle.request_q.cancel_join_thread()
+            self._ring.remove(handle.worker_id)
+        self._handles.clear()
+        if self._response_q is not None:
+            self._response_q.close()
+            self._response_q.cancel_join_thread()
+            self._response_q = None
+        for snap in self._snapshots.values():
+            snap.close()
+            snap.unlink()
+        self._snapshots.clear()
+
+    def __enter__(self) -> "ClusterEstimateService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def resolve(self, query, namespace: str | None = None) -> str:
+        """The namespace serving ``query`` (explicit ``namespace``
+        wins); same rules and typed misses as the single-process
+        router, restricted to table namespaces."""
+        if namespace is not None:
+            if namespace not in self._specs:
+                raise UnknownNamespaceError(
+                    f"unknown namespace {namespace!r} "
+                    f"(have {self.namespaces()})")
+            return namespace
+        kind, targets = routing_signature(query)
+        if kind != "table":
+            raise UnknownNamespaceError(
+                "cluster workers serve table namespaces; route join "
+                "queries through the single-process front door")
+        matches = [ns for ns, spec in self._specs.items()
+                   if spec["columns"] >= targets]
+        if not matches:
+            raise UnknownNamespaceError(
+                f"no namespace covers columns {sorted(targets)} "
+                f"(have {self.namespaces()})")
+        if len(matches) > 1:
+            raise AmbiguousNamespaceError(
+                f"columns {sorted(targets)} match namespaces "
+                f"{matches}; pass namespace= to pick one")
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, query, *, namespace: str | None = None,
+               deadline_ms: float | None = None) -> ClusterRequest:
+        """Enqueue one query on its namespace's worker; future-like
+        handle.  Saturation sheds deadline-first (typed
+        :class:`LoadShedError`); a dead owner raises
+        :class:`~repro.serve.placement.WorkerUnavailableError`."""
+        ns = self.resolve(query, namespace=namespace)
+        deadline = None if deadline_ms is None \
+            else time.perf_counter() + deadline_ms / 1e3
+        return self._dispatch(ns, [query], None, deadline, single=True)
+
+    def estimate(self, query, *, namespace: str | None = None,
+                 deadline_ms: float | None = None) -> float:
+        request = self.submit(query, namespace=namespace,
+                              deadline_ms=deadline_ms)
+        budget = self.request_timeout if deadline_ms is None \
+            else deadline_ms / 1e3 + 5.0
+        return request.result(timeout=budget)
+
+    def estimate_batch(self, queries: list, *,
+                       namespace: str | None = None,
+                       seed: int | None = None) -> np.ndarray:
+        """Bulk path over a (possibly mixed-namespace) query list.
+
+        Grouping and per-namespace stream order match
+        ``RoutedEstimateService.estimate_batch`` exactly, and each
+        namespace group runs as one seeded engine batch on its worker —
+        so a seeded call is bit-identical to the single-process front
+        door on the same queries.  Namespace groups run concurrently
+        across workers; the call returns when all have answered.
+        """
+        if not queries:
+            return np.zeros(0, dtype=np.float64)
+        groups: "OrderedDict[str, list[int]]" = OrderedDict()
+        for i, query in enumerate(queries):
+            groups.setdefault(self.resolve(query, namespace=namespace),
+                              []).append(i)
+        requests: dict[str, ClusterRequest] = {}
+        for ns, indices in groups.items():
+            requests[ns] = self._dispatch(
+                ns, [queries[i] for i in indices], seed, None)
+        out = np.empty(len(queries), dtype=np.float64)
+        for ns, indices in groups.items():
+            out[indices] = requests[ns].result(
+                timeout=self.request_timeout)
+        return out
+
+    # ------------------------------------------------------------------
+    # Publication + healing
+    # ------------------------------------------------------------------
+    def publish(self, namespace: str, estimator,
+                source: str = "refine") -> dict:
+        """Hot-swap ``namespace`` to ``estimator``'s current weights.
+
+        The state is serialized **once** into the namespace's shared
+        segment (seqlock-protected, so a concurrently attaching worker
+        never sees a torn version); the owning worker then gets a
+        ``publish`` control message and rebuilds its compiled engine
+        from the buffer.  Returns propagation timing for the bench.
+        """
+        if namespace not in self._specs:
+            raise UnknownNamespaceError(
+                f"unknown namespace {namespace!r}")
+        if not self._running:
+            raise RuntimeError("publish() needs a started cluster")
+        version = self._versions[namespace] + 1
+        t0 = time.perf_counter()
+        self._snapshots[namespace].publish(
+            estimator.model.state_dict(), version)
+        encode_s = time.perf_counter() - t0
+        handle = self._owner_handle(namespace)
+        request = self._control(handle, "publish", namespace)
+        ack_version, load_s = request.result(
+            timeout=self.request_timeout)
+        propagation_ms = (time.perf_counter() - t0) * 1e3
+        if ack_version != version:
+            raise RuntimeError(
+                f"worker {handle.worker_id} acked version "
+                f"{ack_version}, expected {version}")
+        self._versions[namespace] = version
+        self.publishes += 1
+        return {"namespace": namespace, "version": version,
+                "source": source, "worker": handle.worker_id,
+                "encode_ms": encode_s * 1e3,
+                "load_ms": load_s * 1e3,
+                "propagation_ms": propagation_ms}
+
+    def recover(self, timeout: float | None = None) -> dict:
+        """Heal after worker crashes: drop dead workers from the ring,
+        re-place their namespaces on survivors (bounded-load walk: only
+        ~1/N move), and re-adopt each moved namespace from its retained
+        snapshot segment at its current version."""
+        for wid in [wid for wid, handle in self._handles.items()
+                    if not handle.alive()]:
+            self._mark_dead(wid)
+        dead, self._dead = self._dead, []
+        if not self._handles:
+            raise WorkerUnavailableError(
+                "all cluster workers are down")
+        new_assignment = self._ring.assign(self._specs,
+                                           balance=self.balance)
+        moved = [ns for ns, wid in new_assignment.items()
+                 if self._assignment.get(ns) != wid]
+        self._assignment = new_assignment
+        acks = [(ns, self._adopt_async(ns)) for ns in moved]
+        for ns, request in acks:
+            request.result(timeout=timeout or self.request_timeout)
+        return {"removed": sorted(dead), "moved": sorted(moved)}
+
+    def ping(self) -> dict:
+        """Round-trip worker stats (liveness probe)."""
+        out = {}
+        for wid, handle in list(self._handles.items()):
+            if not handle.alive():
+                out[wid] = {"alive": False}
+                continue
+            request = self._control(handle, "ping")
+            out[wid] = {"alive": True,
+                        **request.result(timeout=self.request_timeout)}
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _owner_handle(self, namespace: str) -> _WorkerHandle:
+        worker_id = self._assignment.get(namespace)
+        handle = self._handles.get(worker_id)
+        if handle is None or not handle.alive():
+            if handle is not None:
+                self._mark_dead(worker_id)
+            raise WorkerUnavailableError(
+                f"worker {worker_id!r} owning namespace {namespace!r} "
+                "is unavailable; call recover() to re-place it")
+        return handle
+
+    def _adopt_async(self, namespace: str) -> ClusterRequest:
+        spec = self._specs[namespace]
+        handle = self._owner_handle(namespace)
+        return self._control(
+            handle, "adopt", namespace, spec["table"], spec["config"],
+            spec["order"], self._snapshots[namespace].name, self._seed)
+
+    def _control(self, handle: _WorkerHandle, kind: str,
+                 *payload) -> ClusterRequest:
+        """Send a control message (no backpressure window: control is
+        rare and must not deadlock behind a full data window)."""
+        request = ClusterRequest(payload[0] if payload else "", 0, None)
+        req_id = next(self._req_ids)
+        with self._lock:
+            self._pending[req_id] = (request, handle, False)
+        try:
+            handle.request_q.put((req_id, kind, *payload))
+        except (ValueError, OSError) as exc:
+            with self._lock:
+                self._pending.pop(req_id, None)
+            request._fail(WorkerUnavailableError(
+                f"worker {handle.worker_id} queue is closed: {exc}"))
+        return request
+
+    def _dispatch(self, namespace: str, queries: list,
+                  seed: int | None, deadline: float | None,
+                  single: bool = False) -> ClusterRequest:
+        try:
+            handle = self._owner_handle(namespace)
+        except WorkerUnavailableError:
+            self.unavailable += len(queries)
+            raise
+        request = ClusterRequest(namespace, len(queries), deadline,
+                                 single=single)
+        if not handle.slots.acquire(blocking=False):
+            # Saturated: deadline-first shedding.  A deadlined request
+            # only waits as long as its budget minus the worker's
+            # observed batch latency allows; a deadline-free request
+            # blocks for a slot (pure backpressure).
+            self.saturations += 1
+            if deadline is not None:
+                headroom = handle.ewma_seconds or 0.0
+                budget = deadline - time.perf_counter() - headroom
+                if budget <= 0 or not handle.slots.acquire(
+                        timeout=budget):
+                    self.sheds += len(queries)
+                    request._fail(LoadShedError(
+                        f"worker {handle.worker_id} saturated "
+                        f"({handle.queue_depth} batches in flight) and "
+                        "the remaining deadline budget cannot cover its "
+                        f"batch latency (~{headroom * 1e3:.1f} ms)"),
+                        shed=True)
+                    return request
+            else:
+                handle.slots.acquire()
+        if not handle.alive():
+            handle.slots.release()
+            self._mark_dead(handle.worker_id)
+            self.unavailable += len(queries)
+            raise WorkerUnavailableError(
+                f"worker {handle.worker_id!r} died while dispatching "
+                f"to namespace {namespace!r}; call recover()")
+        req_id = next(self._req_ids)
+        with self._lock:
+            self._pending[req_id] = (request, handle, True)
+            handle.in_flight += 1
+            handle.dispatched += 1
+        try:
+            handle.request_q.put(
+                (req_id, "batch", namespace, list(queries), seed,
+                 deadline))
+        except (ValueError, OSError) as exc:
+            with self._lock:
+                self._pending.pop(req_id, None)
+                handle.in_flight -= 1
+            handle.slots.release()
+            request._fail(WorkerUnavailableError(
+                f"worker {handle.worker_id} queue is closed: {exc}"))
+        return request
+
+    def _mark_dead(self, worker_id: str) -> None:
+        handle = self._handles.pop(worker_id, None)
+        if handle is None:
+            return
+        self._dead.append(worker_id)
+        self._ring.remove(worker_id)
+        with self._lock:
+            orphaned = [req_id for req_id, (_r, h, _b)
+                        in self._pending.items() if h is handle]
+            entries = [self._pending.pop(req_id) for req_id in orphaned]
+        for request, _handle, is_batch in entries:
+            if is_batch:
+                self.unavailable += request.count
+            request._fail(WorkerUnavailableError(
+                f"worker {worker_id!r} died with the request in "
+                "flight"))
+        handle.request_q.close()
+        handle.request_q.cancel_join_thread()
+
+    def _collect_loop(self) -> None:
+        while not self._collector_stop.is_set():
+            try:
+                item = self._response_q.get(timeout=0.2)
+            except (queue_mod.Empty, OSError, ValueError):
+                continue
+            worker_id, req_id, status, payload = item
+            with self._lock:
+                entry = self._pending.pop(req_id, None)
+                if entry is not None and entry[2]:
+                    entry[1].in_flight -= 1
+            if entry is None:
+                continue
+            request, handle, is_batch = entry
+            if is_batch:
+                handle.slots.release()
+                handle.observe_latency(
+                    time.perf_counter() - request.submitted_at)
+            if status == "ok":
+                if is_batch:
+                    values, version, _seconds = payload
+                    self.served += request.count
+                    request._complete(values, version, worker_id)
+                else:
+                    request._complete(payload, None, worker_id)
+            elif status == "shed":
+                self.sheds += request.count
+                request._fail(LoadShedError(str(payload)), shed=True)
+            else:
+                self.failures += request.count if is_batch else 0
+                error = payload if isinstance(payload, BaseException) \
+                    else RuntimeError(str(payload))
+                request._fail(error)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        workers = {}
+        for wid, handle in self._handles.items():
+            workers[wid] = {
+                "alive": handle.alive(),
+                "in_flight": handle.in_flight,
+                "dispatched": handle.dispatched,
+                "ewma_batch_ms": None if handle.ewma_seconds is None
+                else handle.ewma_seconds * 1e3,
+            }
+        return {"workers": workers,
+                "assignment": dict(self._assignment),
+                "versions": dict(self._versions),
+                "served": self.served, "sheds": self.sheds,
+                "failures": self.failures,
+                "unavailable": self.unavailable,
+                "saturations": self.saturations,
+                "publishes": self.publishes}

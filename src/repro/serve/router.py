@@ -132,6 +132,7 @@ class RefinementPool:
         self._rotation: deque[str] = deque()   # namespaces with pending jobs
         self._workers: list[threading.Thread] = []
         self._stop = False
+        self._closing = False
         self._active = 0
         self.completed = 0
         self.failed = 0
@@ -150,6 +151,7 @@ class RefinementPool:
     def start(self) -> "RefinementPool":
         with self._cond:
             self._stop = False
+            self._closing = False
             self._spawn_workers_locked()
         return self
 
@@ -163,7 +165,7 @@ class RefinementPool:
         """
         job = RefinementJob(str(namespace), fn, args)
         with self._cond:
-            if self._stop:
+            if self._stop or self._closing:
                 raise RuntimeError("refinement pool is stopped")
             queue = self._queues.setdefault(job.namespace, deque())
             queue.append(job)
@@ -226,6 +228,24 @@ class RefinementPool:
         for thread in self._workers:
             thread.join(timeout=5.0)
         self._workers = []
+
+    def close(self, timeout: float | None = 5.0) -> bool:
+        """Graceful shutdown: stop accepting work, drain what's queued,
+        then stop the workers.
+
+        New ``submit`` calls fail immediately; already-queued and
+        running refinements get up to ``timeout`` seconds to finish
+        (``None`` waits indefinitely).  Whatever is still pending when
+        the budget lapses is cancelled with the usual typed
+        RuntimeError, exactly as :meth:`stop` would.  Returns True when
+        the pool drained fully, False when the timeout cut it short —
+        callers that must not lose refinements can check and retry.
+        """
+        with self._cond:
+            self._closing = True
+        drained = self.join(timeout=timeout)
+        self.stop()
+        return drained
 
     def join(self, timeout: float | None = None) -> bool:
         """Block until the pool is idle; returns False on timeout."""
@@ -461,11 +481,13 @@ class RoutedEstimateService:
         self._running = True
         return self
 
-    def stop(self) -> None:
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Graceful front-door shutdown: in-flight refinements get up to
+        ``timeout`` seconds to drain before the pool is stopped."""
         self._running = False
         for space in self.registry:
-            space.server.stop()
-        self.pool.stop()
+            space.server.stop(timeout=timeout)
+        self.pool.close(timeout=timeout)
 
     def __enter__(self) -> "RoutedEstimateService":
         return self.start()

@@ -95,8 +95,15 @@ class UAEServer:
         self.service.start()
         return self
 
-    def stop(self) -> None:
-        self.join_refinement()
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Wait (bounded) for an in-flight refinement, then stop serving.
+
+        A standalone server owns its refinement thread, so it joins it
+        here; pool-backed servers leave drain/cancel to the shared
+        pool's :meth:`~repro.serve.router.RefinementPool.close` — the
+        pool outlives any single namespace.
+        """
+        self.join_refinement(timeout=timeout)
         self.service.stop()
 
     def __enter__(self) -> "UAEServer":

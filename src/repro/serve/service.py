@@ -14,7 +14,12 @@ uses it end to end: a hot-swap between flushes changes which snapshot the
 Deadlines are per-request serving budgets: the worker flushes early when
 the tightest deadline in the queue is about to expire, and a request
 whose budget lapses before compute completes fails with ``TimeoutError``
-instead of silently returning late.
+instead of silently returning late.  The flush also projects the batch's
+compute cost from an EWMA of observed per-query latency and sheds, up
+front, any request whose *remaining* budget (deadline minus the queue
+wait already spent) cannot cover it — near-deadline queries fail fast
+instead of wasting engine time on answers that would arrive late
+(``budget_sheds`` in :meth:`EstimateService.stats`).
 
 All estimates are answered from the
 :class:`~repro.serve.cache.ResultCache` when the active model version has
@@ -114,10 +119,14 @@ class EstimateService:
         self._pending: deque[EstimateRequest] = deque()
         self._worker: threading.Thread | None = None
         self._stop = threading.Event()
+        # EWMA of per-query compute seconds; None until the first flush
+        # is measured (no shedding before there is an observation).
+        self._cost_per_query: float | None = None
         self.served = 0
         self.cache_served = 0
         self.failures = 0
         self.deadline_misses = 0
+        self.budget_sheds = 0
         self.flushes = 0
         self.latencies: deque[float] = deque(maxlen=latency_window)
 
@@ -327,6 +336,30 @@ class EstimateService:
             live.append(req)
         if not live:
             return
+        if self._cost_per_query is not None:
+            # Deadline-first budget shedding: project this batch's
+            # compute from the observed per-query cost and fail, before
+            # any engine time is spent, every request whose remaining
+            # budget (deadline minus the queue wait already paid) cannot
+            # cover it.  Dropping them also shrinks the batch, which can
+            # bring the projection under the survivors' deadlines.
+            kept: list[EstimateRequest] = []
+            for req in sorted(live, key=lambda r: (r.deadline is None,
+                                                   r.deadline)):
+                eta = now + self._cost_per_query * (len(kept) + 1)
+                if req.deadline is not None and eta > req.deadline:
+                    req._fail(TimeoutError(
+                        "remaining deadline budget below projected "
+                        "compute cost; shed before compute"))
+                    self.budget_sheds += 1
+                    self.deadline_misses += 1
+                    continue
+                kept.append(req)
+            if not kept:
+                return
+            if len(kept) != len(live):      # keep submission order
+                kept_ids = {id(req) for req in kept}
+                live = [req for req in live if id(req) in kept_ids]
         self.flushes += 1
         try:
             cards = self._compute(snap, [r.constraints for r in live])
@@ -336,6 +369,9 @@ class EstimateService:
                 req._fail(exc)
             return
         done_at = time.perf_counter()
+        per_query = (done_at - now) / len(live)
+        self._cost_per_query = per_query if self._cost_per_query is None \
+            else 0.75 * self._cost_per_query + 0.25 * per_query
         for req, card in zip(live, cards):
             if req.key is not None:
                 # Cache regardless of the requester's deadline — the
@@ -365,6 +401,7 @@ class EstimateService:
         out = {"served": self.served, "cache_served": self.cache_served,
                "failures": self.failures,
                "deadline_misses": self.deadline_misses,
+               "budget_sheds": self.budget_sheds,
                "flushes": self.flushes,
                "model_version": self.registry.version,
                **self.latency_quantiles()}

@@ -1,0 +1,232 @@
+"""Zero-copy snapshot publication over ``multiprocessing.shared_memory``.
+
+The single-process registry publishes a hot-swap by assigning one Python
+reference.  Across processes that reference is a **shared flat buffer**:
+:class:`SharedSnapshot` owns one ``shared_memory`` segment per namespace,
+sized once from the model's :func:`~repro.infer.compiled.state_layout`
+(the layout is a pure function of the architecture, so every subsequent
+version republishes *in place*).  A publish serializes the fused-weight
+source state exactly once — workers attach the segment and rebuild their
+:class:`~repro.infer.compiled.CompiledModel` from it, instead of each
+receiving its own pickle over a pipe.
+
+Torn-read protection is a classic seqlock.  The header keeps a sequence
+counter that the writer bumps to *odd* before touching the payload and
+back to *even* (the new version's parity point) after; readers snapshot
+the counter, copy the payload, and re-check — a mismatch or an odd value
+means a concurrent publish, so the reader retries.  An attaching worker
+therefore never observes a half-written version: it either gets the old
+snapshot bit-exactly or the new one bit-exactly.
+
+Header layout (little-endian uint64 slots):
+
+====  ==============================================================
+slot  meaning
+====  ==============================================================
+0     magic (``0x55AE5AA9``) — segment sanity check
+1     seqlock counter (odd while a publish is in flight)
+2     published model version (the registry's version counter)
+3     byte length of the JSON entry table
+4     payload offset (start of the flat array area)
+====  ==============================================================
+
+Platforms without POSIX shared memory get ``HAVE_SHARED_MEMORY = False``
+and a clean ``RuntimeError`` from :meth:`SharedSnapshot.create`; the
+cluster tests skip in that case.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from ..infer.compiled import pack_state, state_layout, unpack_state
+
+try:
+    from multiprocessing import shared_memory as _shm
+    HAVE_SHARED_MEMORY = True
+except ImportError:              # pragma: no cover - platform-dependent
+    _shm = None
+    HAVE_SHARED_MEMORY = False
+
+_MAGIC = 0x55AE5AA9
+_HEADER_SLOTS = 8                # room to grow without a layout break
+_HEADER_BYTES = _HEADER_SLOTS * 8
+
+
+class SnapshotTornError(RuntimeError):
+    """A consistent snapshot could not be read (publisher died or a
+    publish storm outlasted the retry budget)."""
+
+
+class SnapshotCodec:
+    """Encode/decode one state dict at a fixed flat-buffer layout.
+
+    The codec is the layout contract: ``entries`` (name/dtype/shape/
+    offset, from :func:`~repro.infer.compiled.state_layout`) plus the
+    seqlock header protocol.  It is transport-agnostic — the buffer may
+    be a shared-memory mapping, an mmap, or plain bytes — and is
+    deliberately free of any model imports so worker processes can
+    decode before building their serving stack.
+    """
+
+    def __init__(self, entries: list[dict], payload_bytes: int):
+        self.entries = entries
+        self.payload_bytes = int(payload_bytes)
+        meta = json.dumps(entries, separators=(",", ":")).encode()
+        self._meta = meta
+        self.payload_offset = _HEADER_BYTES + len(meta)
+        self.total_bytes = self.payload_offset + self.payload_bytes
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_state(cls, state: dict[str, np.ndarray]) -> "SnapshotCodec":
+        entries, payload = state_layout(state)
+        return cls(entries, payload)
+
+    @classmethod
+    def from_buffer(cls, buf) -> "SnapshotCodec":
+        buf = memoryview(buf)
+        header = np.frombuffer(buf, dtype=np.uint64, count=_HEADER_SLOTS)
+        if int(header[0]) != _MAGIC:
+            raise ValueError("buffer does not hold a snapshot segment "
+                             f"(magic {int(header[0]):#x})")
+        meta_len = int(header[3])
+        meta = bytes(buf[_HEADER_BYTES:_HEADER_BYTES + meta_len])
+        entries = json.loads(meta.decode())
+        payload = max((e["offset"] + e["nbytes"] for e in entries),
+                      default=0)
+        return cls(entries, payload)
+
+    # ------------------------------------------------------------------
+    def _header(self, buf) -> np.ndarray:
+        return np.frombuffer(buf, dtype=np.uint64, count=_HEADER_SLOTS)
+
+    def init_buffer(self, buf) -> None:
+        """Stamp magic + entry table into a fresh buffer (no payload yet:
+        the seqlock starts *odd* so readers wait for the first publish)."""
+        buf = memoryview(buf)       # bytearray slices would copy
+        header = np.ndarray((_HEADER_SLOTS,), dtype=np.uint64, buffer=buf)
+        header[:] = 0
+        header[0] = _MAGIC
+        header[1] = 1                      # odd: nothing published yet
+        header[3] = len(self._meta)
+        header[4] = self.payload_offset
+        buf[_HEADER_BYTES:_HEADER_BYTES + len(self._meta)] = self._meta
+
+    def encode(self, buf, state: dict[str, np.ndarray],
+               version: int) -> None:
+        """Seqlock publish: odd counter -> payload + version -> even."""
+        buf = memoryview(buf)       # bytearray slices would copy
+        header = np.ndarray((_HEADER_SLOTS,), dtype=np.uint64, buffer=buf)
+        if int(header[0]) != _MAGIC:
+            raise ValueError("encode() on an uninitialised buffer")
+        seq = int(header[1])
+        if seq % 2 == 0:
+            seq += 1
+        header[1] = seq                    # odd: write in flight
+        pack_state(state, buf[self.payload_offset:self.total_bytes],
+                   self.entries)
+        header[2] = int(version)
+        header[1] = seq + 1                # even again: publish complete
+
+    def decode(self, buf, timeout: float = 1.0
+               ) -> tuple[int, dict[str, np.ndarray]]:
+        """Read ``(version, state)`` with seqlock retries.
+
+        The state is always a private copy — the seqlock re-check can
+        only validate bytes copied *inside* the stable window, so
+        zero-copy views are never handed out of a live segment.
+
+        Raises :class:`SnapshotTornError` when no stable read lands
+        within ``timeout`` (e.g. a publisher crashed mid-write and left
+        the counter odd).
+        """
+        buf = memoryview(buf)       # bytearray slices would copy
+        header = self._header(buf)
+        deadline = time.perf_counter() + timeout
+        while True:
+            before = int(header[1])
+            if before % 2 == 0:
+                version = int(header[2])
+                state = unpack_state(
+                    buf[self.payload_offset:self.total_bytes],
+                    self.entries, copy=True)
+                if int(header[1]) == before:
+                    return version, state
+            if time.perf_counter() >= deadline:
+                raise SnapshotTornError(
+                    "no consistent snapshot within "
+                    f"{timeout:.2f}s (seq={int(header[1])}; publisher "
+                    "crashed mid-publish?)")
+            time.sleep(0.0005)
+
+
+class SharedSnapshot:
+    """One namespace's snapshot segment: create once, republish in place.
+
+    The parent (balancer) calls :meth:`create` with the initial state and
+    :meth:`publish` on every hot-swap; workers :meth:`attach` by name and
+    :meth:`read`.  ``close`` unmaps; only the creating side ``unlink``\\ s.
+    """
+
+    def __init__(self, shm, codec: SnapshotCodec, owner: bool):
+        self._shm = shm
+        self.codec = codec
+        self.owner = owner
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, state: dict[str, np.ndarray], version: int = 1,
+               name: str | None = None) -> "SharedSnapshot":
+        if not HAVE_SHARED_MEMORY:
+            raise RuntimeError("multiprocessing.shared_memory is not "
+                               "available on this platform")
+        codec = SnapshotCodec.for_state(state)
+        shm = _shm.SharedMemory(name=name, create=True,
+                                size=codec.total_bytes)
+        snap = cls(shm, codec, owner=True)
+        codec.init_buffer(shm.buf)
+        codec.encode(shm.buf, state, version)
+        return snap
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedSnapshot":
+        if not HAVE_SHARED_MEMORY:
+            raise RuntimeError("multiprocessing.shared_memory is not "
+                               "available on this platform")
+        shm = _shm.SharedMemory(name=name)
+        codec = SnapshotCodec.from_buffer(shm.buf)
+        return cls(shm, codec, owner=False)
+
+    # ------------------------------------------------------------------
+    def publish(self, state: dict[str, np.ndarray], version: int) -> None:
+        self.codec.encode(self._shm.buf, state, version)
+
+    def read(self, timeout: float = 1.0
+             ) -> tuple[int, dict[str, np.ndarray]]:
+        return self.codec.decode(self._shm.buf, timeout=timeout)
+
+    def version(self) -> int:
+        """The currently-published version (may be mid-publish; use
+        :meth:`read` for a tear-safe state)."""
+        return int(self.codec._header(self._shm.buf)[2])
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, BufferError):     # pragma: no cover - teardown
+            pass
+
+    def unlink(self) -> None:
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:      # pragma: no cover - teardown
+                pass

@@ -215,6 +215,38 @@ class TestEstimateService:
                 request.result(timeout=10.0)
         assert service.deadline_misses >= 1
 
+    def test_budget_shed_before_compute(self, uae, workload):
+        """A request whose remaining budget is below the projected
+        per-query compute cost is shed *before* the engine runs (typed,
+        counted), while deadline-free requests in the same flush still
+        get real answers."""
+        registry = ModelRegistry(uae)
+        service = EstimateService(registry, cache=None, max_batch=8,
+                                  max_wait_ms=1.0)
+        original = service._compute
+
+        def slow_compute(*args, **kwargs):
+            time.sleep(0.05)
+            return original(*args, **kwargs)
+
+        service._compute = slow_compute
+        with service:
+            for q in workload.queries[:2]:
+                service.estimate(q)   # warm the per-query cost EWMA
+            cost = service._cost_per_query
+            assert cost is not None and cost >= 0.05
+            # Deadline above the queue wait but below one projected
+            # compute: only the budget check can shed this one.
+            doomed = service.submit(workload.queries[2],
+                                    deadline_ms=cost * 0.9 * 1e3)
+            safe = service.submit(workload.queries[3])
+            with pytest.raises(TimeoutError, match="shed before compute"):
+                doomed.result(timeout=10.0)
+            assert safe.result(timeout=30.0) >= 0.0
+        assert service.budget_sheds >= 1
+        assert service.stats()["budget_sheds"] == service.budget_sheds
+        assert service.failures == 0
+
     def test_stop_fails_pending(self, uae, workload):
         registry = ModelRegistry(uae)
         service = EstimateService(registry, cache=None)

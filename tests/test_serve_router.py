@@ -205,6 +205,35 @@ class TestRefinementPool:
         with pytest.raises(RuntimeError, match="pool is stopped"):
             pool.submit("a", lambda: 1)
 
+    def test_close_drains_queued_jobs_then_rejects(self):
+        """Graceful close: everything already queued finishes, new work
+        is rejected, and the caller learns the pool drained fully."""
+        pool = RefinementPool(max_workers=1)
+        block = threading.Event()
+        slow = pool.submit("a", lambda: block.wait(timeout=10.0) and "done")
+        tail = pool.submit("b", lambda: "tail")
+        block.set()
+        assert pool.close(timeout=10.0)
+        assert slow.result(timeout=5.0) == "done"
+        assert tail.result(timeout=5.0) == "tail"
+        assert pool.stats()["failed"] == 0
+        with pytest.raises(RuntimeError, match="pool is stopped"):
+            pool.submit("a", lambda: 1)
+
+    def test_close_timeout_cancels_whats_left(self):
+        """A drain budget that lapses falls back to stop() semantics:
+        still-pending jobs fail typed, and close() reports False."""
+        pool = RefinementPool(max_workers=1)
+        block = threading.Event()
+        pool.submit("a", lambda: block.wait(timeout=10.0))
+        pending = pool.submit("a", lambda: "never")
+        try:
+            assert pool.close(timeout=0.05) is False
+            with pytest.raises(RuntimeError, match="pool stopped"):
+                pending.result(timeout=5.0)
+        finally:
+            block.set()
+
 
 # ----------------------------------------------------------------------
 class TestRoutedEstimateService:

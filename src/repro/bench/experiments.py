@@ -714,6 +714,13 @@ def run_serving_scale(profile: Profile | None = None) -> dict:
     return _run(profile)
 
 
+def run_serving_load(profile: Profile | None = None) -> dict:
+    """Open-loop HTTP load scenario (standalone; also embedded in
+    BENCH_serve.json by the `serving` experiment)."""
+    from .load_bench import run_open_loop as _run
+    return _run(profile)
+
+
 def run_training_bench(profile: Profile | None = None) -> dict:
     """Training-engine microbenchmark (writes BENCH_train.json)."""
     from .train_bench import run_training as _run
@@ -725,6 +732,7 @@ EXPERIMENTS = {
     "serving": run_serving,
     "serving_multi": run_serving_multi,
     "serving_scale": run_serving_scale,
+    "serving_load": run_serving_load,
     "training": run_training_bench,
     "table1": capability_matrix,
     "sub_baselines": run_sub_baselines,

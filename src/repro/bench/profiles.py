@@ -49,6 +49,19 @@ class Profile:
     scale_stream_queries: int = 320   # per-worker-count mixed stream length
     mscn_epochs: int = 60
     kde_budget_divisor: int = 1     # sample budget = uae_size / divisor
+    # Open-loop HTTP load bench (repro.bench.load_bench): offered rates
+    # are fractions of the *calibrated* capacity so the sweep spans
+    # comfortable to saturated on any host; the SLO is an absolute
+    # floor relaxed against calibrated baseline latency on slow boxes.
+    load_pool: int = 48             # distinct queries cycled round-robin
+    load_rate_fractions: tuple = (0.25, 0.5, 0.75, 1.0, 1.5, 2.5)
+    load_duration_s: float = 4.0    # per-rate open-loop window
+    load_max_requests: int = 400    # per-rate arrival cap
+    load_connections: int = 64      # client socket-pool cap
+    load_slo_ms: float = 250.0      # p99 bound below the knee
+    load_calib_requests: int = 96   # closed-loop capacity probe size
+    load_calib_concurrency: int = 8
+    load_max_inflight: int = 32     # front-door admission window
 
     def dataset_rows(self, name: str) -> int:
         return self.rows.get(name, 8000)
@@ -74,6 +87,10 @@ CI = Profile(
     scale_datasets=("census", "toy"), scale_workers=(1, 2),
     scale_stream_queries=64,
     mscn_epochs=10,
+    load_pool=16, load_rate_fractions=(0.25, 0.75, 2.5),
+    load_duration_s=1.5, load_max_requests=60, load_connections=32,
+    load_calib_requests=24, load_calib_concurrency=4,
+    load_max_inflight=16,
 )
 
 SMALL = Profile(
@@ -89,6 +106,10 @@ SMALL = Profile(
     scale_datasets=("census", "toy"), scale_workers=(1, 2),
     scale_stream_queries=96,
     mscn_epochs=20,
+    load_pool=24, load_rate_fractions=(0.25, 0.75, 2.5),
+    load_duration_s=2.0, load_max_requests=100, load_connections=32,
+    load_calib_requests=32, load_calib_concurrency=4,
+    load_max_inflight=16,
 )
 
 BENCH = Profile(

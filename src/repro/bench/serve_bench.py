@@ -481,7 +481,8 @@ def run_scale_out(profile: Profile | None = None,
 def run_serving(profile: Profile | None = None,
                 write_artifact: bool = True,
                 include_multi_table: bool = True,
-                include_scale_out: bool = True) -> dict:
+                include_scale_out: bool = True,
+                include_open_loop: bool = True) -> dict:
     """The serving scenario; returns the usual experiment dict.
 
     After the single-table loop, the multi-table front-door scenario
@@ -490,7 +491,10 @@ def run_serving(profile: Profile | None = None,
     an ``mt_`` prefix.  The scale-out cluster scenario
     (:func:`run_scale_out`) follows under ``"scale_out"`` with an
     ``so_`` prefix (skipped automatically where
-    ``multiprocessing.shared_memory`` is unavailable).
+    ``multiprocessing.shared_memory`` is unavailable), and the
+    open-loop HTTP load scenario
+    (:func:`~repro.bench.load_bench.run_open_loop`) under
+    ``"open_loop"`` with its own ``ol_``-prefixed checks.
     """
     profile = profile or current_profile()
     rng = np.random.default_rng(2024)
@@ -703,6 +707,17 @@ def run_serving(profile: Profile | None = None,
                      "queries": row["queries"], "qps": row["qps"]}
                     for row in scale.get("rows", []))
 
+    open_loop = None
+    if include_open_loop:
+        from .load_bench import run_open_loop
+        open_loop = run_open_loop(profile, raise_on_failure=False)
+        checks.update(open_loop["checks"])      # already ol_-prefixed
+        rows.extend({"phase": f"ol:{row['fraction_of_capacity']}x",
+                     "queries": row["sent"],
+                     "qps": row["achieved_qps"],
+                     "p50_ms": row["p50_ms"], "p99_ms": row["p99_ms"]}
+                    for row in open_loop.get("rows", []))
+
     infer_reference = None
     if os.path.exists(BENCH_INFER_PATH):
         try:
@@ -744,6 +759,9 @@ def run_serving(profile: Profile | None = None,
                                   if k not in ("title", "columns")}
     if scale is not None:
         payload["scale_out"] = {k: v for k, v in scale.items()
+                                if k not in ("title", "columns")}
+    if open_loop is not None:
+        payload["open_loop"] = {k: v for k, v in open_loop.items()
                                 if k not in ("title", "columns")}
     if write_artifact:
         try:

@@ -26,7 +26,14 @@ Five cooperating pieces (see the README's "Serving" section):
   processes, placing namespaces by consistent hashing
   (:mod:`repro.serve.placement`) and publishing hot-swaps zero-copy
   through per-namespace ``shared_memory`` segments
-  (:mod:`repro.serve.snapshot`).
+  (:mod:`repro.serve.snapshot`);
+* the asyncio network front door (:mod:`repro.serve.net`):
+  :class:`AsyncEstimateService` makes any front awaitable (deadline
+  propagation, cancellation-as-abandonment) and :class:`HTTPFrontDoor`
+  puts an HTTP/JSON wire protocol on it with typed error mapping
+  (LoadShedError → 503 + Retry-After, UnknownNamespaceError → 404,
+  deadline exceeded → 504); ``python -m repro.serve --http PORT``
+  serves it, and :mod:`repro.bench.load_bench` drives it open-loop.
 
 ``python -m repro.serve`` drives a shifting workload through the full
 loop (pass several ``--datasets`` for the multi-table front door, or
@@ -38,13 +45,15 @@ writes ``BENCH_serve.json``.
 from .cache import ResultCache
 from .cluster import ClusterEstimateService, ClusterRequest, LoadShedError
 from .feedback import FeedbackCollector
+from .net import (ERROR_STATUS, AsyncEstimateService, AsyncHTTPClient,
+                  HTTPFrontDoor, serve_http, status_for)
 from .placement import HashRing, WorkerUnavailableError
 from .registry import ModelRegistry, ModelVersion
 from .router import (AmbiguousNamespaceError, MultiTableRegistry, Namespace,
                      RefinementJob, RefinementPool, RoutedEstimateService,
                      RoutingError, UnknownNamespaceError)
 from .server import UAEServer
-from .service import EstimateRequest, EstimateService
+from .service import EstimateRequest, EstimateService, RequestCancelledError
 from .snapshot import (HAVE_SHARED_MEMORY, SharedSnapshot, SnapshotCodec,
                        SnapshotTornError)
 
@@ -56,4 +65,7 @@ __all__ = ["ModelRegistry", "ModelVersion", "EstimateService",
            "AmbiguousNamespaceError", "ClusterEstimateService",
            "ClusterRequest", "LoadShedError", "HashRing",
            "WorkerUnavailableError", "SharedSnapshot", "SnapshotCodec",
-           "SnapshotTornError", "HAVE_SHARED_MEMORY"]
+           "SnapshotTornError", "HAVE_SHARED_MEMORY",
+           "RequestCancelledError", "AsyncEstimateService",
+           "HTTPFrontDoor", "AsyncHTTPClient", "ERROR_STATUS",
+           "status_for", "serve_http"]

@@ -20,6 +20,16 @@ the profile's scale datasets served by 1 and then N shared-nothing
 worker processes behind a ``ClusterEstimateService``, checking
 bit-parity with single-process serving, zero-copy swap propagation,
 and typed load shedding under overload.
+
+With ``--http PORT``, the network front door runs instead: train the
+profile's DMV model once, then serve the JSON-over-HTTP protocol
+(``POST /estimate``, ``POST /estimate_batch``, ``POST /feedback``,
+``GET /status``, ``GET /healthz``) until Ctrl-C.  ``PORT`` 0 binds an
+ephemeral port (printed once bound).  ``--http 0 --smoke`` instead
+starts the door on an ephemeral port, drives one request through every
+endpoint and every typed error path (400/404/413/503/504) over a real
+socket, and exits non-zero on any protocol violation — the CI HTTP
+smoke step runs exactly this.
 """
 
 from __future__ import annotations
@@ -33,6 +43,196 @@ from ..bench.profiles import PROFILES
 from ..bench.reporting import format_table
 from ..bench.serve_bench import run_multi_table, run_scale_out, run_serving
 from ..data.datasets import DATASETS
+
+
+# ----------------------------------------------------------------------
+# HTTP front door (--http / --smoke)
+# ----------------------------------------------------------------------
+def _sql_literal(value) -> str:
+    if hasattr(value, "item"):              # numpy scalar -> python
+        value = value.item()
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return repr(value)
+
+
+def _render_sql(query) -> str:
+    """Render a Query back to the WHERE-fragment grammar the parser
+    accepts, so the smoke test exercises real SQL over the wire."""
+    parts = []
+    for pred in query.predicates:
+        if pred.op == "IN":
+            vals = ", ".join(_sql_literal(v) for v in pred.value)
+            parts.append(f"{pred.column} IN ({vals})")
+        else:
+            parts.append(f"{pred.column} {pred.op} "
+                         f"{_sql_literal(pred.value)}")
+    return " AND ".join(parts)
+
+
+def _build_http_front(profile):
+    """Train the profile's DMV model and wrap it in a UAEServer."""
+    import numpy as np
+
+    from ..core import UAE
+    from ..data import load
+    from ..workload import generate_inworkload
+    from .server import UAEServer
+
+    table = load("dmv", rows=profile.dataset_rows("dmv"), seed=0)
+    uae = UAE(table, hidden=profile.hidden,
+              num_blocks=profile.num_blocks,
+              est_samples=profile.est_samples,
+              dps_samples=max(4, profile.dps_samples),
+              batch_size=profile.batch_size,
+              query_batch_size=profile.query_batch_size, seed=0)
+    uae.fit(epochs=max(1, profile.epochs // 3), mode="data")
+    workload = generate_inworkload(table, 32, np.random.default_rng(5))
+    server = UAEServer(uae, max_batch=32, max_wait_ms=2.0, seed=7)
+    return server, [_render_sql(q) for q in workload.queries]
+
+
+def _http_smoke(door, sqls: list[str]) -> list[str]:
+    """Drive every endpoint and typed error path over real sockets;
+    returns the list of failed checks (empty = pass)."""
+    import asyncio
+
+    from .net import AsyncHTTPClient
+
+    failures: list[str] = []
+
+    def check(name: str, ok: bool, detail="") -> None:
+        print(f"  {'ok  ' if ok else 'FAIL'} {name}"
+              + (f" ({detail})" if detail and not ok else ""))
+        if not ok:
+            failures.append(name)
+
+    async def run() -> None:
+        client = AsyncHTTPClient(door.host, door.port)
+        try:
+            status, body, _ = await client.get("/healthz")
+            check("healthz 200", status == 200 and body.get("ok") is True,
+                  f"status={status}")
+
+            status, body, _ = await client.post("/estimate",
+                                                {"sql": sqls[0]})
+            check("estimate 200",
+                  status == 200 and body.get("estimate", -1) >= 0
+                  and "version" in body, f"status={status} body={body}")
+
+            batch = {"sql": sqls[:3], "seed": 123, "use_cache": False}
+            _, first, _ = await client.post("/estimate_batch", batch)
+            _, second, _ = await client.post("/estimate_batch", batch)
+            check("seeded batch bit-identical",
+                  first.get("estimates") == second.get("estimates")
+                  and len(first.get("estimates", [])) == 3)
+
+            status, body, _ = await client.post(
+                "/feedback", {"sql": sqls[0], "true_cardinality": 100.0})
+            check("feedback 200",
+                  status == 200 and body.get("qerror", 0) >= 1.0,
+                  f"status={status} body={body}")
+
+            status, body, _ = await client.get("/status")
+            check("status 200",
+                  status == 200 and "front_door" in body
+                  and "service" in body, f"status={status}")
+
+            status, body, _ = await client.get("/nope")
+            check("unknown route 404", status == 404, f"status={status}")
+
+            status, body, _ = await client.post(
+                "/estimate", {"sql": sqls[0], "namespace": "ghost"})
+            check("unknown namespace 404",
+                  status == 404
+                  and body.get("error") == "UnknownNamespaceError",
+                  f"status={status} body={body}")
+
+            status, body, _ = await client.post("/estimate", {})
+            check("missing sql 400", status == 400, f"status={status}")
+
+            # malformed JSON must map to a typed 400, not a hangup
+            reader, writer = await asyncio.open_connection(
+                door.host, door.port)
+            raw = b"{not json"
+            writer.write(b"POST /estimate HTTP/1.1\r\nHost: x\r\n"
+                         b"Content-Length: %d\r\n\r\n" % len(raw) + raw)
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=10)
+            check("malformed JSON 400", b" 400 " in line,
+                  line.decode("latin1", "replace").strip())
+            writer.close()
+
+            # a microscopic budget on a fresh query must miss, typed
+            status, body, _ = await client.post(
+                "/estimate", {"sql": sqls[10], "deadline_ms": 0.001})
+            check("deadline miss 504",
+                  status == 504 and body.get("error") == "TimeoutError",
+                  f"status={status} body={body}")
+
+            # saturate the 1-slot admission window: concurrent deadlined
+            # requests must shed typed (503 + Retry-After), never hang
+            clients = [AsyncHTTPClient(door.host, door.port)
+                       for _ in range(12)]
+            try:
+                outs = await asyncio.gather(*(
+                    c.post("/estimate",
+                           {"sql": sqls[11 + i], "deadline_ms": 2000.0})
+                    for i, c in enumerate(clients)))
+            finally:
+                for c in clients:
+                    await c.close()
+            statuses = [s for s, _b, _h in outs]
+            shed = [(s, h) for s, _b, h in outs if s == 503]
+            check("overload shed 503",
+                  any(s == 200 for s in statuses) and shed
+                  and all("retry-after" in h for _s, h in shed),
+                  f"statuses={statuses}")
+            check("no untyped failures",
+                  all(s in (200, 503, 504) for s in statuses),
+                  f"statuses={statuses}")
+        finally:
+            await client.close()
+
+    asyncio.run(run())
+    return failures
+
+
+def _run_http(profile, port: int, smoke: bool) -> int:
+    import queue
+    import threading
+
+    from .net import serve_http
+
+    print(f"training DMV model (profile={profile.name}) ...", flush=True)
+    server, sqls = _build_http_front(profile)
+    with server:
+        if not smoke:
+            serve_http(server, port=port, ready=lambda d: print(
+                f"serving http://{d.host}:{d.port} "
+                "(POST /estimate | /estimate_batch | /feedback, "
+                "GET /status | /healthz; Ctrl-C stops)", flush=True))
+            return 0
+        ready: "queue.Queue" = queue.Queue()
+        stop = threading.Event()
+        thread = threading.Thread(
+            target=serve_http, args=(server,),
+            kwargs=dict(port=port, max_inflight=1, ready=ready.put,
+                        stop_event=stop),
+            daemon=True)
+        thread.start()
+        try:
+            door = ready.get(timeout=60)
+            print(f"smoke against http://{door.host}:{door.port}")
+            failures = _http_smoke(door, sqls)
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+    if failures:
+        print(f"FAILED: {failures}", file=sys.stderr)
+        return 1
+    print("HTTP smoke: all checks passed")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,6 +254,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the scale-out cluster scenario with 1 "
                              "and N shared-nothing worker processes "
                              "instead of the single-process loop")
+    parser.add_argument("--http", type=int, default=None, metavar="PORT",
+                        help="serve the JSON-over-HTTP front door on PORT "
+                             "(0 = ephemeral) instead of running a "
+                             "scenario; Ctrl-C stops")
+    parser.add_argument("--smoke", action="store_true",
+                        help="with --http: bind an ephemeral port, drive "
+                             "every endpoint and typed error path once, "
+                             "exit non-zero on any protocol violation")
     parser.add_argument("--no-artifact", action="store_true",
                         help="skip writing BENCH_serve.json "
                              "(--datasets runs never write it)")
@@ -63,6 +271,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.smoke and args.http is None:
+        parser.error("--smoke requires --http")
+    if args.http is not None:
+        if args.datasets or args.workers is not None:
+            parser.error("--http is exclusive of --datasets/--workers")
+        return _run_http(PROFILES[args.profile], args.http, args.smoke)
     try:
         if args.workers is not None:
             profile = PROFILES[args.profile]

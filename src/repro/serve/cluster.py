@@ -60,6 +60,7 @@ import numpy as np
 from ..workload.predicate import routing_signature
 from .placement import HashRing, WorkerUnavailableError
 from .router import AmbiguousNamespaceError, UnknownNamespaceError
+from .service import RequestCancelledError
 from .snapshot import HAVE_SHARED_MEMORY, SharedSnapshot
 
 
@@ -198,11 +199,13 @@ def _worker_main(worker_id: str, request_q, response_q) -> None:
 # ----------------------------------------------------------------------
 class ClusterRequest:
     """A single in-flight cluster call; future-like, mirrors
-    :class:`~repro.serve.service.EstimateRequest`."""
+    :class:`~repro.serve.service.EstimateRequest` (first-wins
+    settlement, done callbacks, best-effort cancellation)."""
 
     __slots__ = ("namespace", "count", "deadline", "single",
                  "submitted_at", "completed_at", "version", "worker",
-                 "shed", "_event", "_value", "_error")
+                 "shed", "cancelled", "_lock", "_callbacks", "_event",
+                 "_value", "_error")
 
     def __init__(self, namespace: str, count: int,
                  deadline: float | None, single: bool = False):
@@ -215,26 +218,61 @@ class ClusterRequest:
         self.version: int | None = None
         self.worker: str | None = None
         self.shed = False
+        self.cancelled = False
+        self._lock = threading.Lock()
+        self._callbacks: list = []
         self._event = threading.Event()
         self._value = None
         self._error: BaseException | None = None
 
-    def _complete(self, value, version: int | None,
-                  worker: str | None) -> None:
-        self._value = value
-        self.version = version
-        self.worker = worker
-        self.completed_at = time.perf_counter()
-        self._event.set()
+    def _settle(self, value, error, version, worker, shed) -> bool:
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._error = error
+            self.version = version
+            self.worker = worker
+            self.shed = shed
+            self.completed_at = time.perf_counter()
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return True
 
-    def _fail(self, error: BaseException, shed: bool = False) -> None:
-        self._error = error
-        self.shed = shed
-        self.completed_at = time.perf_counter()
-        self._event.set()
+    def _complete(self, value, version: int | None,
+                  worker: str | None) -> bool:
+        return self._settle(value, None, version, worker, False)
+
+    def _fail(self, error: BaseException, shed: bool = False) -> bool:
+        return self._settle(None, error, self.version, self.worker, shed)
+
+    def cancel(self) -> bool:
+        """Abandon the call parent-side.  The batch may already sit in
+        the worker's queue — cancellation cannot cross the process
+        boundary, but the worker's own deadline check (and the parent
+        dropping the answer here) keeps a dead client from being waited
+        on.  Returns True when the cancellation won."""
+        self.cancelled = True
+        return self._fail(RequestCancelledError("cluster request "
+                                                "cancelled"))
+
+    def add_done_callback(self, callback) -> None:
+        """Call ``callback(request)`` once settled (immediately if
+        already done), from the settling thread."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    def exception(self) -> BaseException | None:
+        """The request's error, or None (valid once ``done()``)."""
+        return self._error
 
     def result(self, timeout: float | None = None):
         """The estimate (float for ``submit``, array for batch
@@ -336,6 +374,7 @@ class ClusterEstimateService:
         self.served = 0
         self.sheds = 0
         self.failures = 0
+        self.cancellations = 0
         self.unavailable = 0
         self.saturations = 0
         self.publishes = 0
@@ -743,18 +782,20 @@ class ClusterEstimateService:
             if status == "ok":
                 if is_batch:
                     values, version, _seconds = payload
-                    self.served += request.count
-                    request._complete(values, version, worker_id)
+                    if request._complete(values, version, worker_id):
+                        self.served += request.count
+                    else:
+                        self.cancellations += request.count
                 else:
                     request._complete(payload, None, worker_id)
             elif status == "shed":
-                self.sheds += request.count
-                request._fail(LoadShedError(str(payload)), shed=True)
+                if request._fail(LoadShedError(str(payload)), shed=True):
+                    self.sheds += request.count
             else:
-                self.failures += request.count if is_batch else 0
                 error = payload if isinstance(payload, BaseException) \
                     else RuntimeError(str(payload))
-                request._fail(error)
+                if request._fail(error) and is_batch:
+                    self.failures += request.count
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -772,6 +813,7 @@ class ClusterEstimateService:
                 "versions": dict(self._versions),
                 "served": self.served, "sheds": self.sheds,
                 "failures": self.failures,
+                "cancellations": self.cancellations,
                 "unavailable": self.unavailable,
                 "saturations": self.saturations,
                 "publishes": self.publishes}

@@ -21,6 +21,13 @@ wait already spent) cannot cover it — near-deadline queries fail fast
 instead of wasting engine time on answers that would arrive late
 (``budget_sheds`` in :meth:`EstimateService.stats`).
 
+Cancellation is abandonment: :meth:`EstimateRequest.cancel` (driven by
+the asyncio front door in :mod:`repro.serve.net` when a network caller
+disconnects or times out) settles the request immediately with
+:class:`RequestCancelledError`, and the worker drops cancelled requests
+at flush time — a dead client never occupies a batch slot or engine
+time (``cancellations`` in :meth:`EstimateService.stats`).
+
 All estimates are answered from the
 :class:`~repro.serve.cache.ResultCache` when the active model version has
 an entry for the query's constraint signature.
@@ -39,12 +46,23 @@ from .cache import ResultCache
 from .registry import ModelRegistry, ModelVersion
 
 
+class RequestCancelledError(RuntimeError):
+    """The caller abandoned the request before it completed."""
+
+
 class EstimateRequest:
-    """A single in-flight estimate; a minimal future."""
+    """A single in-flight estimate; a minimal future.
+
+    Settlement is first-wins: exactly one of ``_complete`` / ``_fail``
+    takes effect, so a caller cancelling concurrently with the worker
+    completing never observes a half-settled request.  Done callbacks
+    (the asyncio front door's bridge back to its event loop) fire once,
+    from whichever thread settles the request.
+    """
 
     __slots__ = ("query", "constraints", "key", "deadline", "submitted_at",
-                 "completed_at", "version", "from_cache", "_event", "_value",
-                 "_error")
+                 "completed_at", "version", "from_cache", "cancelled",
+                 "_lock", "_callbacks", "_event", "_value", "_error")
 
     def __init__(self, query: Query, constraints: list, key: bytes | None,
                  deadline: float | None):
@@ -56,30 +74,66 @@ class EstimateRequest:
         self.completed_at: float | None = None
         self.version: int | None = None
         self.from_cache = False
+        self.cancelled = False
+        self._lock = threading.Lock()
+        self._callbacks: list = []
         self._event = threading.Event()
         self._value: float | None = None
         self._error: BaseException | None = None
 
     # ------------------------------------------------------------------
-    def _complete(self, value: float, version: int,
-                  from_cache: bool = False) -> None:
-        self._value = value
-        self.version = version
-        self.from_cache = from_cache
-        self.completed_at = time.perf_counter()
-        self._event.set()
+    def _settle(self, value, error, version, from_cache) -> bool:
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._error = error
+            self.version = version
+            self.from_cache = from_cache
+            self.completed_at = time.perf_counter()
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return True
 
-    def _fail(self, error: BaseException) -> None:
-        self._error = error
-        self.completed_at = time.perf_counter()
-        self._event.set()
+    def _complete(self, value: float, version: int,
+                  from_cache: bool = False) -> bool:
+        """Settle with a value; False when the request was already
+        settled (e.g. cancelled while the engine computed it)."""
+        return self._settle(value, None, version, from_cache)
+
+    def _fail(self, error: BaseException) -> bool:
+        return self._settle(None, error, self.version, self.from_cache)
+
+    def cancel(self) -> bool:
+        """Abandon the request: the micro-batcher drops cancelled
+        requests before compute, so a cancelled request never occupies a
+        batch slot in a later flush.  Returns True when the cancellation
+        won (the request had not already completed or failed)."""
+        self.cancelled = True       # worker reads this before computing
+        return self._fail(RequestCancelledError("request cancelled"))
+
+    def add_done_callback(self, callback) -> None:
+        """Call ``callback(request)`` once settled (immediately if the
+        request is already done), from the settling thread."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def done(self) -> bool:
         return self._event.is_set()
 
+    def exception(self) -> BaseException | None:
+        """The request's error, or None (valid once ``done()``)."""
+        return self._error
+
     def result(self, timeout: float | None = None) -> float:
         """Block until the estimate is ready; raises the request's error
-        (e.g. ``TimeoutError`` on a missed deadline)."""
+        (e.g. ``TimeoutError`` on a missed deadline,
+        ``RequestCancelledError`` after a cancellation)."""
         if not self._event.wait(timeout):
             raise TimeoutError("estimate not ready")
         if self._error is not None:
@@ -127,6 +181,7 @@ class EstimateService:
         self.failures = 0
         self.deadline_misses = 0
         self.budget_sheds = 0
+        self.cancellations = 0
         self.flushes = 0
         self.latencies: deque[float] = deque(maxlen=latency_window)
 
@@ -321,17 +376,23 @@ class EstimateService:
         now = time.perf_counter()
         live: list[EstimateRequest] = []
         for req in batch:
+            if req.cancelled:
+                # Abandoned by the caller (e.g. an asyncio client went
+                # away): never give it a batch slot or engine time.
+                self.cancellations += 1
+                continue
             if req.deadline is not None and now > req.deadline:
-                req._fail(TimeoutError("deadline expired before compute"))
-                self.deadline_misses += 1
+                if req._fail(TimeoutError("deadline expired before "
+                                          "compute")):
+                    self.deadline_misses += 1
                 continue
             if req.key is not None:
                 hit = self.cache.get(req.key, snap.version)
                 if hit is not None:
-                    req._complete(hit, snap.version, from_cache=True)
-                    self.cache_served += 1
-                    self.served += 1
-                    self.latencies.append(req.latency())
+                    if req._complete(hit, snap.version, from_cache=True):
+                        self.cache_served += 1
+                        self.served += 1
+                        self.latencies.append(req.latency())
                     continue
             live.append(req)
         if not live:
@@ -348,11 +409,11 @@ class EstimateService:
                                                    r.deadline)):
                 eta = now + self._cost_per_query * (len(kept) + 1)
                 if req.deadline is not None and eta > req.deadline:
-                    req._fail(TimeoutError(
-                        "remaining deadline budget below projected "
-                        "compute cost; shed before compute"))
-                    self.budget_sheds += 1
-                    self.deadline_misses += 1
+                    if req._fail(TimeoutError(
+                            "remaining deadline budget below projected "
+                            "compute cost; shed before compute")):
+                        self.budget_sheds += 1
+                        self.deadline_misses += 1
                     continue
                 kept.append(req)
             if not kept:
@@ -364,9 +425,9 @@ class EstimateService:
         try:
             cards = self._compute(snap, [r.constraints for r in live])
         except BaseException as exc:  # noqa: BLE001 - fail the batch, keep serving
-            self.failures += len(live)
             for req in live:
-                req._fail(exc)
+                if req._fail(exc):
+                    self.failures += 1
             return
         done_at = time.perf_counter()
         per_query = (done_at - now) / len(live)
@@ -378,12 +439,17 @@ class EstimateService:
                 # estimate is valid for this version either way.
                 self.cache.put(req.key, snap.version, float(card))
             if req.deadline is not None and done_at > req.deadline:
-                req._fail(TimeoutError("deadline expired during compute"))
-                self.deadline_misses += 1
+                if req._fail(TimeoutError("deadline expired during "
+                                          "compute")):
+                    self.deadline_misses += 1
                 continue
-            req._complete(float(card), snap.version)
-            self.served += 1
-            self.latencies.append(req.latency())
+            if req._complete(float(card), snap.version):
+                self.served += 1
+                self.latencies.append(req.latency())
+            else:
+                # Cancelled while the engine ran: the answer is valid
+                # (and cached above) but nobody is waiting for it.
+                self.cancellations += 1
 
     # ------------------------------------------------------------------
     def latency_quantiles(self) -> dict[str, float]:
@@ -402,6 +468,7 @@ class EstimateService:
                "failures": self.failures,
                "deadline_misses": self.deadline_misses,
                "budget_sheds": self.budget_sheds,
+               "cancellations": self.cancellations,
                "flushes": self.flushes,
                "model_version": self.registry.version,
                **self.latency_quantiles()}

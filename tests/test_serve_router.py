@@ -146,12 +146,14 @@ class TestRefinementPool:
         to every other namespace between its own jobs."""
         pool = RefinementPool(max_workers=1)
         release = threading.Event()
+        started = threading.Event()
         order: list[str] = []
         lock = threading.Lock()
 
         def job(tag, wait=False):
             def run():
                 if wait:
+                    started.set()
                     release.wait(timeout=10.0)
                 with lock:
                     order.append(tag)
@@ -159,7 +161,8 @@ class TestRefinementPool:
 
         try:
             pool.submit("hot", job("hot-0", wait=True))
-            time.sleep(0.05)          # let the worker pick up the blocker
+            # wait until the worker holds the blocker (no wall-clock guess)
+            assert started.wait(timeout=10.0)
             for i in range(1, 5):
                 pool.submit("hot", job(f"hot-{i}"))
             quiet_b = pool.submit("b", job("b-0"))

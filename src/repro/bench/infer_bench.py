@@ -36,6 +36,10 @@ BENCH_PATH = os.path.join(os.path.dirname(os.path.abspath(RESULTS_DIR)),
 
 _LATENCY_QUERIES = {"small": 16, "bench": 64, "paper": 256}
 
+#: hard ceiling on metrics-instrumentation overhead for the engine path
+#: (median over interleaved instrumented/uninstrumented reps)
+OBS_OVERHEAD_PCT = 7.0
+
 
 def _time_batches(sampler: ProgressiveSampler, constraints: list[list],
                   batch_queries: int) -> tuple[float, np.ndarray]:
@@ -46,6 +50,32 @@ def _time_batches(sampler: ProgressiveSampler, constraints: list[list],
         chunk = constraints[lo:lo + batch_queries]
         estimates[lo:lo + len(chunk)] = sampler.estimate_batch(chunk)
     return time.perf_counter() - start, estimates
+
+
+def _measure_obs_overhead(sampler: ProgressiveSampler,
+                          constraints: list[list], batch_queries: int,
+                          reps: int = 5) -> tuple[float, float]:
+    """Median wall-clock for the engine path with metrics off vs on.
+
+    Reps are interleaved (off, on, off, on, ...) so thermal drift and
+    background load hit both arms equally; medians shrug off outliers.
+    """
+    from ..obs import MetricsRegistry
+
+    engine = sampler.engine
+    plain: list[float] = []
+    instrumented: list[float] = []
+    try:
+        for _ in range(reps):
+            engine.metrics = None
+            t, _ = _time_batches(sampler, constraints, batch_queries)
+            plain.append(t)
+            engine.metrics = MetricsRegistry()
+            t, _ = _time_batches(sampler, constraints, batch_queries)
+            instrumented.append(t)
+    finally:
+        engine.metrics = None
+    return float(np.median(plain)), float(np.median(instrumented))
 
 
 def run_infer_latency(profile: Profile | None = None,
@@ -90,6 +120,13 @@ def run_infer_latency(profile: Profile | None = None,
     scheduled.estimate_many(constraints)
     timings["engine+scheduler"] = time.perf_counter() - start
 
+    # Observability must stay effectively free on the hot path: A/B the
+    # engine with its registry attached vs detached and gate the delta.
+    plain_s, instr_s = _measure_obs_overhead(
+        samplers["engine"], constraints, batch_queries)
+    obs_overhead_pct = (instr_s / plain_s - 1.0) * 100.0
+    checks = {"obs_overhead": obs_overhead_pct <= OBS_OVERHEAD_PCT}
+
     speedup = timings["legacy"] / timings["engine"]
     diff = np.abs(estimates["legacy"] - estimates["engine"])
     denom = np.maximum(np.maximum(estimates["legacy"],
@@ -118,6 +155,11 @@ def run_infer_latency(profile: Profile | None = None,
         "speedup_estimate_batch": speedup,
         "estimate_max_abs_diff": float(diff.max()),
         "estimate_max_rel_diff": float((diff / denom).max()),
+        "obs_overhead_pct": obs_overhead_pct,
+        "obs_overhead_threshold_pct": OBS_OVERHEAD_PCT,
+        "obs_plain_qps": n_queries / plain_s,
+        "obs_instrumented_qps": n_queries / instr_s,
+        "checks": checks,
         "rows": rows,
     }
     if write_artifact:
@@ -126,6 +168,12 @@ def run_infer_latency(profile: Profile | None = None,
                 json.dump(payload, fh, indent=2)
         except OSError as exc:  # never discard timed results over a write
             print(f"warning: could not write {BENCH_PATH}: {exc}")
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed:
+        raise RuntimeError(
+            f"inference bench invariants violated: {failed} "
+            f"(metrics overhead {obs_overhead_pct:.2f}% > "
+            f"{OBS_OVERHEAD_PCT}% ceiling)")
     return {"title": "Inference engine throughput: legacy vs compiled "
                      f"(DMV, profile={profile.name})",
             "columns": ["path", "queries_per_sec", "ms_per_query",

@@ -29,6 +29,14 @@ breaks typed under overload), p99 below the knee stays within the SLO
 (adapted to calibrated baseline latency on slow hosts), every rejection
 above the knee is typed, and **zero** untyped failures anywhere.
 
+One more (``metrics_internal``): the internal
+``repro_http_request_seconds`` histogram delta taken around the lowest
+offered rate must agree with the harness's *externally* measured
+latency — internal p99 within 1.5x external p99 (+5 ms bucket slack)
+and at least as many observations as successes.  This pins the
+observability plane to ground truth: a registry that under-counts or
+mis-buckets fails the bench, not just a unit test.
+
 ``python -m repro.bench serving_load`` runs it standalone;
 ``run_serving`` embeds the payload under ``"open_loop"``.
 """
@@ -43,6 +51,7 @@ import numpy as np
 
 from ..core import UAE
 from ..data import load
+from ..obs import percentile_from_counts
 from ..serve import (AsyncEstimateService, AsyncHTTPClient, HTTPFrontDoor,
                      UAEServer)
 from ..workload import generate_inworkload
@@ -240,7 +249,14 @@ def run_open_loop(profile: Profile | None = None,
             for payload in payloads:
                 payload["deadline_ms"] = deadline_ms
 
-            for fraction in profile.load_rate_fractions:
+            # The door's own /estimate latency histogram: delta its
+            # bucket counts around the lowest (least queue-distorted)
+            # offered rate and cross-check against the external view.
+            h_route = door.metrics.get_family(
+                "repro_http_request_seconds").labels(route="/estimate")
+            internal = None
+            for i, fraction in enumerate(profile.load_rate_fractions):
+                before = list(h_route.counts)
                 row = await _sweep_rate(
                     door.host, door.port, payloads,
                     rate_qps=max(1.0, fraction * capacity),
@@ -250,8 +266,19 @@ def run_open_loop(profile: Profile | None = None,
                     rng=rng)
                 row["fraction_of_capacity"] = fraction
                 rows.append(row)
+                if i == 0:
+                    delta = [a - b for a, b in
+                             zip(h_route.counts, before)]
+                    internal = {
+                        "observations": int(sum(delta)),
+                        "p50_ms": percentile_from_counts(
+                            h_route.bounds, delta, 0.50) * 1e3,
+                        "p99_ms": percentile_from_counts(
+                            h_route.bounds, delta, 0.99) * 1e3,
+                    }
             return {"calibration": calib, "slo_ms": slo_ms,
                     "deadline_ms": deadline_ms,
+                    "metrics_internal": internal,
                     "door": {"requests": door.requests,
                              "served": door.served,
                              "sheds": door.sheds,
@@ -281,6 +308,16 @@ def run_open_loop(profile: Profile | None = None,
     checks["ol_throughput_tracks_offer_below_knee"] = all(
         row["achieved_qps"] >= 0.7 * row["offered_qps"]
         for row in below_knee) and bool(below_knee)
+    # Internal histogram vs external harness at the lowest rate: the
+    # external clock starts at the *scheduled* arrival (upstream of the
+    # internal one), so internal <= external up to bucket quantization.
+    internal = meta["metrics_internal"]
+    first = rows[0]
+    checks["metrics_internal"] = (
+        internal is not None
+        and internal["observations"] >= first["ok"] > 0
+        and internal["p99_ms"] == internal["p99_ms"]  # not NaN
+        and internal["p99_ms"] <= 1.5 * first["p99_ms"] + 5.0)
 
     payload = {
         "generated_at": datetime.now(timezone.utc).isoformat(),
@@ -294,6 +331,7 @@ def run_open_loop(profile: Profile | None = None,
         "knee_offered_qps": None if knee is None else knee["offered_qps"],
         "knee_fraction": None if knee is None
         else knee["fraction_of_capacity"],
+        "metrics_internal": internal,
         "door": meta["door"],
         "service": server.stats()["service"],
         "checks": checks,

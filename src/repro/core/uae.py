@@ -15,6 +15,7 @@ through the query loss, no retraining from scratch.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
@@ -83,6 +84,10 @@ class UAE(TrainableEstimator):
         self._init_model_stack(self._build_order(config.column_order))
         self.model_codes = self.fact.encode_rows(table.codes)
         self.history: list[dict[str, float]] = []
+        # Optional repro.obs.MetricsRegistry: when set (e.g. by
+        # UAEServer), fit() records per-step counters/latency under
+        # repro_train_*{mode=...}.  Not carried by snapshot()/clone().
+        self.metrics = None
 
     def _init_model_stack(self, order: list[int] | None) -> None:
         """Model, optimizer, and samplers (shared by ``__init__`` and the
@@ -228,10 +233,21 @@ class UAE(TrainableEstimator):
         stale_epochs = 0
         base_lr = self.optimizer.lr
 
+        step_counter = step_timer = None
+        if self.metrics is not None:
+            step_counter = self.metrics.counter(
+                "repro_train_steps_total", "Optimizer steps taken",
+                ("mode",)).labels(mode=mode)
+            step_timer = self.metrics.histogram(
+                "repro_train_step_seconds", "Wall time per optimizer step",
+                ("mode",)).labels(mode=mode)
+
         for epoch in range(epochs):
             self.optimizer.lr = base_lr * self.config.lr_decay ** epoch
             epoch_data, epoch_query, count = 0.0, 0.0, 0
             for _ in range(steps):
+                step_t0 = time.perf_counter() if step_timer is not None \
+                    else 0.0
                 loss: Tensor | None = None
                 if mode in ("data", "hybrid"):
                     idx = self.rng.integers(0, len(rows),
@@ -248,6 +264,9 @@ class UAE(TrainableEstimator):
                 loss.backward()
                 self.optimizer.step()
                 count += 1
+                if step_timer is not None:
+                    step_timer.observe(time.perf_counter() - step_t0)
+                    step_counter.inc()
             record = {
                 "epoch": len(self.history),
                 "data_loss": epoch_data / count,

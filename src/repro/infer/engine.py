@@ -29,6 +29,8 @@ calls; sampled values are written into the encoded-input buffer in place.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..nn.made import ResMADE
@@ -58,11 +60,56 @@ class InferenceEngine:
         self.model = model
         self.compiled = CompiledModel(model)
         self._pool = _BufferPool()
+        self._metrics = None
+        self._m_batches = self._m_queries = self._m_seconds = None
 
     # ------------------------------------------------------------------
+    @property
+    def metrics(self):
+        """Optional :class:`repro.obs.MetricsRegistry`; ``None`` keeps
+        the batch loop entirely uninstrumented (zero overhead)."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self._metrics = registry
+        if registry is None:
+            self._m_batches = self._m_queries = self._m_seconds = None
+            return
+        self._m_batches = registry.counter(
+            "repro_engine_batches_total",
+            "Compiled-engine batch invocations")
+        self._m_queries = registry.counter(
+            "repro_engine_queries_total",
+            "Queries estimated by the compiled engine")
+        self._m_seconds = registry.histogram(
+            "repro_engine_batch_seconds",
+            "Wall time per compiled-engine batch")
+
     def estimate_batch(self, constraint_lists: list[list], num_samples: int,
                        rng: np.random.Generator, with_error: bool = False,
                        compiled_constraints: CompiledConstraints | None = None):
+        """Instrumented wrapper over :meth:`_estimate_batch`: one timing
+        read and three registry updates per *batch* (not per query), and
+        nothing at all when no registry is attached."""
+        if self._metrics is None:
+            return self._estimate_batch(constraint_lists, num_samples, rng,
+                                        with_error, compiled_constraints)
+        t0 = time.perf_counter()
+        try:
+            return self._estimate_batch(constraint_lists, num_samples, rng,
+                                        with_error, compiled_constraints)
+        finally:
+            self._m_seconds.observe(time.perf_counter() - t0)
+            self._m_batches.inc()
+            self._m_queries.inc(
+                compiled_constraints.n_queries
+                if compiled_constraints is not None
+                else len(constraint_lists))
+
+    def _estimate_batch(self, constraint_lists: list[list], num_samples: int,
+                        rng: np.random.Generator, with_error: bool = False,
+                        compiled_constraints: CompiledConstraints | None = None):
         """Selectivity estimates (and optional standard errors) for a batch.
 
         Mirrors the legacy sampler's semantics exactly: iterate the union

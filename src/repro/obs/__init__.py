@@ -1,0 +1,26 @@
+"""Unified observability layer: metrics, tracing, and event logging.
+
+See README section "Observability" for the metric catalogue and label
+conventions.  Everything here is stdlib-only and safe to import inside
+cluster worker processes.
+"""
+
+from .events import EVENTS, EventLog
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, log_buckets, percentile_from_counts)
+from .trace import Span, Trace, TraceRecorder
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "EVENTS",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "TraceRecorder",
+    "log_buckets",
+    "percentile_from_counts",
+]

@@ -1,0 +1,78 @@
+"""Structured JSON-lines event log for serving lifecycle events.
+
+Every consequential state change in the serving stack — hot-swap
+publish/adopt, rollback, drift trigger, refinement start/finish, load
+shed, cancellation, worker crash/recover — is emitted as one JSON
+object per line: ``{"ts": <unix>, "event": <name>, ...fields}``.
+
+Events go to a bounded in-memory ring (always) and, if a sink is
+configured, to a JSON-lines file.  Set the ``REPRO_EVENT_LOG``
+environment variable to a path to capture the process-default log
+(:data:`EVENTS`) to disk; components accept an ``events=`` argument to
+use a private log instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = ["EventLog", "EVENTS"]
+
+
+class EventLog:
+    def __init__(self, capacity: int = 1024,
+                 path: str | None = None) -> None:
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._path = path
+        self._file = None
+        self.emitted = 0
+
+    def emit(self, event: str, **fields) -> dict:
+        record = {"ts": round(time.time(), 6), "event": event, **fields}
+        with self._lock:
+            self.emitted += 1
+            self._ring.append(record)
+            if self._path is not None:
+                try:
+                    if self._file is None:
+                        self._file = open(self._path, "a", encoding="utf-8")
+                    self._file.write(json.dumps(record, default=str) + "\n")
+                    self._file.flush()
+                except OSError:
+                    # Telemetry must never take down serving.
+                    self._path = None
+        return record
+
+    def recent(self, n: int | None = None,
+               event: str | None = None) -> list[dict]:
+        with self._lock:
+            items = list(self._ring)
+        if event is not None:
+            items = [r for r in items if r["event"] == event]
+        return items[-n:] if n else items
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            items = list(self._ring)
+        out: dict[str, int] = {}
+        for r in items:
+            out[r["event"]] = out.get(r["event"], 0) + 1
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None
+
+
+#: Process-default event log; ``REPRO_EVENT_LOG=<path>`` adds a file sink.
+EVENTS = EventLog(path=os.environ.get("REPRO_EVENT_LOG"))

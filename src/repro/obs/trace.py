@@ -1,0 +1,162 @@
+"""Per-request tracing: spans, traces, and a bounded recorder.
+
+A :class:`Trace` is created at the edge (HTTP accept, or ``submit`` for
+in-process callers) and threaded through the stack as an optional
+``trace=`` argument.  Each stage appends :class:`Span` records — queue
+wait, micro-batch compute, settle, cluster slot wait, worker compute —
+using either explicit timestamps it already has on hand (the serving
+hot paths never take extra clock readings just for tracing) or the
+:meth:`Trace.span` context manager for code that owns its own timing.
+
+All span times are ``time.perf_counter()`` values.  On Linux that is
+``CLOCK_MONOTONIC``, which is shared across processes on the same host,
+so worker-side timestamps shipped back in the cluster response envelope
+land on the same axis as parent-side spans.
+
+:class:`TraceRecorder` keeps two bounded rings — most recent traces and
+slowest-over-threshold traces — for the ``GET /debug/traces`` dump.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = ["Span", "Trace", "TraceRecorder"]
+
+_ids = itertools.count(1)
+
+
+class Span:
+    """One timed stage inside a trace."""
+
+    __slots__ = ("name", "start", "end", "parent", "attrs")
+
+    def __init__(self, name: str, start: float, end: float | None = None,
+                 parent: "Span | None" = None,
+                 attrs: dict | None = None) -> None:
+        self.name = name
+        self.start = start
+        self.end = end
+        self.parent = parent
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_dict(self, origin: float = 0.0) -> dict:
+        d = {
+            "name": self.name,
+            "start_ms": (self.start - origin) * 1e3,
+            "duration_ms": self.duration * 1e3,
+        }
+        if self.parent is not None:
+            d["parent"] = self.parent.name
+        if self.attrs:
+            d["attrs"] = self.attrs
+        return d
+
+
+class Trace:
+    """A request's spans plus identifying attributes."""
+
+    __slots__ = ("trace_id", "name", "started", "ended", "started_unix",
+                 "attrs", "spans", "_lock")
+
+    def __init__(self, name: str, trace_id: str | None = None) -> None:
+        self.name = name
+        if trace_id is None:
+            trace_id = f"{os.getpid():x}-{next(_ids):08x}"
+        self.trace_id = trace_id
+        self.started = time.perf_counter()
+        self.started_unix = time.time()
+        self.ended: float | None = None
+        self.attrs: dict = {}
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def add_span(self, name: str, start: float, end: float | None = None,
+                 parent: Span | None = None, **attrs) -> Span:
+        """Record a span from timestamps the caller already holds."""
+        span = Span(name, start, end, parent, attrs or None)
+        with self._lock:
+            self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent: Span | None = None, **attrs):
+        span = self.add_span(name, time.perf_counter(), None, parent, **attrs)
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter()
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def finish(self, **attrs) -> "Trace":
+        if attrs:
+            self.set(**attrs)
+        if self.ended is None:
+            self.ended = time.perf_counter()
+        return self
+
+    @property
+    def duration(self) -> float:
+        end = self.ended if self.ended is not None else time.perf_counter()
+        return end - self.started
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            spans = list(self.spans)
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "started_unix": self.started_unix,
+            "duration_ms": self.duration * 1e3,
+            "attrs": self.attrs,
+            "spans": [s.to_dict(self.started) for s in spans],
+        }
+
+
+class TraceRecorder:
+    """Bounded rings of recent and slow traces."""
+
+    def __init__(self, capacity: int = 128, slow_capacity: int = 32,
+                 slow_threshold_s: float = 0.25) -> None:
+        self.slow_threshold_s = slow_threshold_s
+        self._recent: deque[Trace] = deque(maxlen=capacity)
+        self._slow: deque[Trace] = deque(maxlen=slow_capacity)
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def record(self, trace: Trace) -> None:
+        with self._lock:
+            self.recorded += 1
+            self._recent.append(trace)
+            if trace.duration >= self.slow_threshold_s:
+                self._slow.append(trace)
+
+    def recent(self, n: int | None = None) -> list[Trace]:
+        with self._lock:
+            items = list(self._recent)
+        return items[-n:] if n else items
+
+    def slow(self, n: int | None = None) -> list[Trace]:
+        with self._lock:
+            items = list(self._slow)
+        return items[-n:] if n else items
+
+    def to_dict(self, n: int | None = None) -> dict:
+        return {
+            "recorded": self.recorded,
+            "slow_threshold_ms": self.slow_threshold_s * 1e3,
+            "recent": [t.to_dict() for t in self.recent(n)],
+            "slow": [t.to_dict() for t in self.slow(n)],
+        }

@@ -35,6 +35,11 @@ Five cooperating pieces (see the README's "Serving" section):
   deadline exceeded → 504); ``python -m repro.serve --http PORT``
   serves it, and :mod:`repro.bench.load_bench` drives it open-loop.
 
+Every layer shares the :mod:`repro.obs` observability plane: one
+:class:`~repro.obs.MetricsRegistry` per process (workers merged at
+scrape time), per-request traces threaded edge-to-engine, and the
+``GET /metrics`` / ``GET /debug/traces`` endpoints on the front door.
+
 ``python -m repro.serve`` drives a shifting workload through the full
 loop (pass several ``--datasets`` for the multi-table front door, or
 ``--workers N`` for the scale-out cluster);

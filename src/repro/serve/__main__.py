@@ -191,6 +191,44 @@ def _http_smoke(door, sqls: list[str]) -> list[str]:
             check("no untyped failures",
                   all(s in (200, 503, 504) for s in statuses),
                   f"statuses={statuses}")
+
+            # /metrics: Prometheus text covering the stack, including
+            # the requests this very smoke just issued
+            status, text, headers = await client.get("/metrics")
+            check("metrics 200 text",
+                  status == 200 and isinstance(text, str)
+                  and "text/plain" in headers.get("content-type", ""),
+                  f"status={status}")
+            families = ("repro_http_requests_total",
+                        "repro_http_responses_total",
+                        "repro_http_request_seconds_bucket",
+                        "repro_serve_served_total",
+                        "repro_serve_latency_seconds_bucket",
+                        "repro_serve_stage_seconds_bucket",
+                        "repro_http_inflight")
+            missing = [f for f in families
+                       if not isinstance(text, str) or f not in text]
+            check("metrics families present", not missing,
+                  f"missing={missing}")
+            served_lines = [] if not isinstance(text, str) else [
+                line for line in text.splitlines()
+                if line.startswith("repro_serve_served_total")]
+            check("metrics count just-served requests",
+                  any(float(line.rsplit(" ", 1)[1]) >= 1
+                      for line in served_lines),
+                  f"lines={served_lines}")
+
+            # /debug/traces: the estimates above must have left traces
+            # with admission + compute-side spans
+            status, dump, _ = await client.get("/debug/traces")
+            recent = dump.get("recent", []) if isinstance(dump, dict) \
+                else []
+            spans = {s["name"] for t in recent for s in t.get("spans", ())}
+            check("debug traces recorded",
+                  status == 200 and dump.get("recorded", 0) >= 1
+                  and "admission" in spans,
+                  f"status={status} recorded={dump.get('recorded')} "
+                  f"spans={sorted(spans)}")
         finally:
             await client.close()
 

@@ -98,12 +98,25 @@ def _worker_main(worker_id: str, request_q, response_q) -> None:
     (or the process is killed — the balancer contains the crash)."""
     _limit_blas_threads(1)
     from ..core.uae import UAE             # deferred: cheap worker spawn
+    from ..obs import MetricsRegistry
 
     models: dict[str, UAE] = {}
     buffers: dict[str, SharedSnapshot] = {}
     versions: dict[str, int] = {}
     rngs: dict[str, np.random.Generator] = {}
     served = 0
+    # Worker-local registry: fixed bucket layouts make these histograms
+    # mergeable parent-side (ClusterEstimateService.merged_metrics).
+    wm = MetricsRegistry()
+    wm_served = wm.counter("repro_worker_served_total",
+                           "Queries answered by this worker",
+                           ("namespace",))
+    wm_batch = wm.histogram("repro_worker_batch_seconds",
+                            "Engine compute time per worker batch",
+                            ("namespace",))
+    wm_qwait = wm.histogram("repro_worker_queue_wait_seconds",
+                            "Time a batch sat in the worker's inbox",
+                            ("namespace",))
 
     def respond(req_id, status, payload=None) -> None:
         try:
@@ -129,6 +142,7 @@ def _worker_main(worker_id: str, request_q, response_q) -> None:
                 version, state = buf.read(timeout=5.0)
                 estimator.model.load_state_dict(state)
                 estimator.sampler.engine.compiled.ensure_current()
+                estimator.sampler.engine.metrics = wm
                 stale = buffers.pop(namespace, None)
                 if stale is not None:
                     stale.close()
@@ -153,9 +167,15 @@ def _worker_main(worker_id: str, request_q, response_q) -> None:
                 respond(req_id, "ok",
                         (version, time.perf_counter() - t0))
             elif kind == "batch":
-                namespace, queries, seed, deadline = msg[2:]
-                if deadline is not None \
-                        and time.perf_counter() > deadline:
+                namespace, queries, seed, deadline, sent_at = msg[2:]
+                recv_at = time.perf_counter()
+                if sent_at is not None:
+                    # perf_counter is CLOCK_MONOTONIC on Linux — shared
+                    # across same-host processes, so the parent's send
+                    # stamp and this read sit on one time axis.
+                    wm_qwait.labels(namespace=namespace).observe(
+                        max(0.0, recv_at - sent_at))
+                if deadline is not None and recv_at > deadline:
                     respond(req_id, "shed",
                             "deadline expired while queued")
                     continue
@@ -176,8 +196,13 @@ def _worker_main(worker_id: str, request_q, response_q) -> None:
                 cards = np.clip(sels, 0.0, 1.0) \
                     * estimator.table.num_rows
                 served += len(queries)
+                compute_s = time.perf_counter() - t0
+                wm_served.labels(namespace=namespace).inc(len(queries))
+                wm_batch.labels(namespace=namespace).observe(compute_s)
                 respond(req_id, "ok", (cards, versions[namespace],
-                                       time.perf_counter() - t0))
+                                       compute_s, t0))
+            elif kind == "metrics":
+                respond(req_id, "ok", wm.snapshot())
             elif kind == "ping":
                 respond(req_id, "ok", {
                     "worker": worker_id, "pid": os.getpid(),
@@ -202,17 +227,20 @@ class ClusterRequest:
     :class:`~repro.serve.service.EstimateRequest` (first-wins
     settlement, done callbacks, best-effort cancellation)."""
 
-    __slots__ = ("namespace", "count", "deadline", "single",
-                 "submitted_at", "completed_at", "version", "worker",
-                 "shed", "cancelled", "_lock", "_callbacks", "_event",
-                 "_value", "_error")
+    __slots__ = ("namespace", "count", "deadline", "single", "trace",
+                 "dispatched_at", "submitted_at", "completed_at",
+                 "version", "worker", "shed", "cancelled", "_lock",
+                 "_callbacks", "_event", "_value", "_error")
 
     def __init__(self, namespace: str, count: int,
-                 deadline: float | None, single: bool = False):
+                 deadline: float | None, single: bool = False,
+                 trace=None):
         self.namespace = namespace
         self.count = count
         self.deadline = deadline           # absolute perf_counter time
         self.single = single
+        self.trace = trace                 # optional obs.Trace
+        self.dispatched_at: float | None = None
         self.submitted_at = time.perf_counter()
         self.completed_at: float | None = None
         self.version: int | None = None
@@ -341,7 +369,8 @@ class ClusterEstimateService:
     def __init__(self, *, workers: int = 2, queue_depth: int = 4,
                  vnodes: int = 64, balance: float | None = 1.0,
                  seed: int = 0, start_method: str | None = None,
-                 request_timeout: float = 120.0, name: str = "cluster"):
+                 request_timeout: float = 120.0, name: str = "cluster",
+                 metrics=None, events=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_depth < 1:
@@ -371,13 +400,70 @@ class ClusterEstimateService:
         self._lock = threading.Lock()
         self._dead: list[str] = []
         self._running = False
-        self.served = 0
-        self.sheds = 0
-        self.failures = 0
-        self.cancellations = 0
-        self.unavailable = 0
-        self.saturations = 0
-        self.publishes = 0
+        from ..obs import EVENTS, MetricsRegistry
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EVENTS
+        m = self.metrics
+        self._c_served = m.counter(
+            "repro_cluster_served_total",
+            "Queries answered across all workers")
+        self._c_sheds = m.counter(
+            "repro_cluster_sheds_total",
+            "Queries shed by saturation/deadline backpressure")
+        self._f_failures = m.counter(
+            "repro_cluster_failures_total",
+            "Queries failed by a worker-side error", ("error",))
+        self._c_cancel = m.counter(
+            "repro_cluster_cancellations_total",
+            "Queries abandoned by their caller")
+        self._c_unavail = m.counter(
+            "repro_cluster_unavailable_total",
+            "Queries refused because the owning worker was dead")
+        self._c_sat = m.counter(
+            "repro_cluster_saturations_total",
+            "Dispatches that found the owner's window full")
+        self._c_pub = m.counter(
+            "repro_cluster_publishes_total",
+            "Snapshot hot-swaps propagated to workers")
+        self._h_latency = m.histogram(
+            "repro_cluster_latency_seconds",
+            "Submit-to-settle latency of cluster requests",
+            ("namespace",))
+        self._h_stage = m.histogram(
+            "repro_cluster_stage_seconds",
+            "Per-request time in each cluster stage",
+            ("namespace", "stage"))
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters (read-only compatibility attributes)
+    # ------------------------------------------------------------------
+    @property
+    def served(self) -> int:
+        return int(self._c_served.value)
+
+    @property
+    def sheds(self) -> int:
+        return int(self._c_sheds.value)
+
+    @property
+    def failures(self) -> int:
+        return int(self._f_failures.total())
+
+    @property
+    def cancellations(self) -> int:
+        return int(self._c_cancel.value)
+
+    @property
+    def unavailable(self) -> int:
+        return int(self._c_unavail.value)
+
+    @property
+    def saturations(self) -> int:
+        return int(self._c_sat.value)
+
+    @property
+    def publishes(self) -> int:
+        return int(self._c_pub.value)
 
     # ------------------------------------------------------------------
     # Namespace registration
@@ -449,6 +535,9 @@ class ClusterEstimateService:
         acks = [(ns, self._adopt_async(ns)) for ns in self._specs]
         for ns, request in acks:
             request.result(timeout=self.request_timeout)
+            self.events.emit("swap_adopt", namespace=ns,
+                             worker=self._assignment.get(ns),
+                             version=self._versions.get(ns))
         return self
 
     def stop(self) -> None:
@@ -528,7 +617,8 @@ class ClusterEstimateService:
     # Serving
     # ------------------------------------------------------------------
     def submit(self, query, *, namespace: str | None = None,
-               deadline_ms: float | None = None) -> ClusterRequest:
+               deadline_ms: float | None = None,
+               trace=None) -> ClusterRequest:
         """Enqueue one query on its namespace's worker; future-like
         handle.  Saturation sheds deadline-first (typed
         :class:`LoadShedError`); a dead owner raises
@@ -536,7 +626,8 @@ class ClusterEstimateService:
         ns = self.resolve(query, namespace=namespace)
         deadline = None if deadline_ms is None \
             else time.perf_counter() + deadline_ms / 1e3
-        return self._dispatch(ns, [query], None, deadline, single=True)
+        return self._dispatch(ns, [query], None, deadline, single=True,
+                              trace=trace)
 
     def estimate(self, query, *, namespace: str | None = None,
                  deadline_ms: float | None = None) -> float:
@@ -607,7 +698,11 @@ class ClusterEstimateService:
                 f"worker {handle.worker_id} acked version "
                 f"{ack_version}, expected {version}")
         self._versions[namespace] = version
-        self.publishes += 1
+        self._c_pub.inc()
+        self.events.emit("swap_publish", namespace=namespace,
+                         version=version, source=source,
+                         worker=handle.worker_id,
+                         propagation_ms=propagation_ms)
         return {"namespace": namespace, "version": version,
                 "source": source, "worker": handle.worker_id,
                 "encode_ms": encode_s * 1e3,
@@ -634,6 +729,11 @@ class ClusterEstimateService:
         acks = [(ns, self._adopt_async(ns)) for ns in moved]
         for ns, request in acks:
             request.result(timeout=timeout or self.request_timeout)
+            self.events.emit("swap_adopt", namespace=ns,
+                             worker=self._assignment.get(ns),
+                             version=self._versions.get(ns))
+        self.events.emit("worker_recover", removed=sorted(dead),
+                         moved=sorted(moved))
         return {"removed": sorted(dead), "moved": sorted(moved)}
 
     def ping(self) -> dict:
@@ -688,26 +788,30 @@ class ClusterEstimateService:
 
     def _dispatch(self, namespace: str, queries: list,
                   seed: int | None, deadline: float | None,
-                  single: bool = False) -> ClusterRequest:
+                  single: bool = False, trace=None) -> ClusterRequest:
         try:
             handle = self._owner_handle(namespace)
         except WorkerUnavailableError:
-            self.unavailable += len(queries)
+            self._c_unavail.inc(len(queries))
             raise
         request = ClusterRequest(namespace, len(queries), deadline,
-                                 single=single)
+                                 single=single, trace=trace)
         if not handle.slots.acquire(blocking=False):
             # Saturated: deadline-first shedding.  A deadlined request
             # only waits as long as its budget minus the worker's
             # observed batch latency allows; a deadline-free request
             # blocks for a slot (pure backpressure).
-            self.saturations += 1
+            self._c_sat.inc()
             if deadline is not None:
                 headroom = handle.ewma_seconds or 0.0
                 budget = deadline - time.perf_counter() - headroom
                 if budget <= 0 or not handle.slots.acquire(
                         timeout=budget):
-                    self.sheds += len(queries)
+                    self._c_sheds.inc(len(queries))
+                    self.events.emit("shed", namespace=namespace,
+                                     reason="saturated",
+                                     worker=handle.worker_id,
+                                     headroom_s=headroom)
                     request._fail(LoadShedError(
                         f"worker {handle.worker_id} saturated "
                         f"({handle.queue_depth} batches in flight) and "
@@ -720,7 +824,7 @@ class ClusterEstimateService:
         if not handle.alive():
             handle.slots.release()
             self._mark_dead(handle.worker_id)
-            self.unavailable += len(queries)
+            self._c_unavail.inc(len(queries))
             raise WorkerUnavailableError(
                 f"worker {handle.worker_id!r} died while dispatching "
                 f"to namespace {namespace!r}; call recover()")
@@ -729,10 +833,17 @@ class ClusterEstimateService:
             self._pending[req_id] = (request, handle, True)
             handle.in_flight += 1
             handle.dispatched += 1
+        request.dispatched_at = time.perf_counter()
+        self._h_stage.labels(namespace=namespace, stage="slot_wait") \
+            .observe(request.dispatched_at - request.submitted_at)
+        if trace is not None:
+            trace.add_span("slot_wait", request.submitted_at,
+                           request.dispatched_at,
+                           worker=handle.worker_id)
         try:
             handle.request_q.put(
                 (req_id, "batch", namespace, list(queries), seed,
-                 deadline))
+                 deadline, request.dispatched_at))
         except (ValueError, OSError) as exc:
             with self._lock:
                 self._pending.pop(req_id, None)
@@ -752,9 +863,11 @@ class ClusterEstimateService:
             orphaned = [req_id for req_id, (_r, h, _b)
                         in self._pending.items() if h is handle]
             entries = [self._pending.pop(req_id) for req_id in orphaned]
+        self.events.emit("worker_crash", worker=worker_id,
+                         orphaned=len(entries))
         for request, _handle, is_batch in entries:
             if is_batch:
-                self.unavailable += request.count
+                self._c_unavail.inc(request.count)
             request._fail(WorkerUnavailableError(
                 f"worker {worker_id!r} died with the request in "
                 "flight"))
@@ -775,29 +888,102 @@ class ClusterEstimateService:
             if entry is None:
                 continue
             request, handle, is_batch = entry
+            now = time.perf_counter()
             if is_batch:
                 handle.slots.release()
-                handle.observe_latency(
-                    time.perf_counter() - request.submitted_at)
+                handle.observe_latency(now - request.submitted_at)
             if status == "ok":
                 if is_batch:
-                    values, version, _seconds = payload
+                    values, version, compute_s, worker_t0 = payload
+                    self._observe_stages(request, worker_id, compute_s,
+                                         worker_t0, now)
                     if request._complete(values, version, worker_id):
-                        self.served += request.count
+                        self._c_served.inc(request.count)
+                        self._h_latency.labels(
+                            namespace=request.namespace).observe(
+                            request.completed_at - request.submitted_at)
                     else:
-                        self.cancellations += request.count
+                        self._c_cancel.inc(request.count)
+                        self.events.emit("cancel",
+                                         namespace=request.namespace,
+                                         worker=worker_id,
+                                         stage="post_compute")
                 else:
                     request._complete(payload, None, worker_id)
             elif status == "shed":
                 if request._fail(LoadShedError(str(payload)), shed=True):
-                    self.sheds += request.count
+                    self._c_sheds.inc(request.count)
+                    self.events.emit("shed", namespace=request.namespace,
+                                     reason="worker_deadline",
+                                     worker=worker_id)
             else:
                 error = payload if isinstance(payload, BaseException) \
                     else RuntimeError(str(payload))
                 if request._fail(error) and is_batch:
-                    self.failures += request.count
+                    self._f_failures.labels(
+                        error=type(error).__name__).inc(request.count)
+
+    def _observe_stages(self, request: ClusterRequest, worker_id: str,
+                        compute_s: float, worker_t0: float,
+                        now: float) -> None:
+        """Per-stage accounting from the response envelope's worker-side
+        timestamps (perf_counter is host-wide on Linux, so they share
+        the parent's clock)."""
+        ns = request.namespace
+        sent = request.dispatched_at
+        if sent is None:
+            return
+        queue_wait = max(0.0, worker_t0 - sent)
+        collect = max(0.0, now - (worker_t0 + compute_s))
+        self._h_stage.labels(namespace=ns, stage="worker_queue_wait") \
+            .observe(queue_wait)
+        self._h_stage.labels(namespace=ns, stage="worker_compute") \
+            .observe(compute_s)
+        self._h_stage.labels(namespace=ns, stage="collect") \
+            .observe(collect)
+        if request.trace is not None:
+            request.trace.add_span("worker_queue_wait", sent, worker_t0,
+                                   worker=worker_id)
+            request.trace.add_span("worker_compute", worker_t0,
+                                   worker_t0 + compute_s,
+                                   worker=worker_id, batch=request.count)
+            request.trace.add_span("collect", worker_t0 + compute_s, now)
 
     # ------------------------------------------------------------------
+    # Metrics exposition
+    # ------------------------------------------------------------------
+    def worker_metrics(self, timeout: float | None = None) -> dict:
+        """Poll every live worker for its registry snapshot."""
+        out: dict[str, dict] = {}
+        requests = []
+        for wid, handle in list(self._handles.items()):
+            if not handle.alive():
+                continue
+            requests.append((wid, self._control(handle, "metrics")))
+        for wid, request in requests:
+            try:
+                out[wid] = request.result(
+                    timeout=timeout or self.request_timeout)
+            except BaseException:  # noqa: BLE001 - dead worker mid-poll
+                continue
+        return out
+
+    def metrics_snapshots(self) -> list:
+        """``(snapshot, extra_labels)`` pairs for the parent registry and
+        every worker's, ready for :meth:`MetricsRegistry.merged` — the
+        hook :class:`~repro.serve.net.HTTPFrontDoor` uses to render
+        cluster-wide ``/metrics``."""
+        snaps = [(self.metrics.snapshot(), None)]
+        for wid, snap in self.worker_metrics().items():
+            snaps.append((snap, {"worker": wid}))
+        return snaps
+
+    def merged_metrics(self):
+        """Fresh registry merging the parent and all workers (fixed
+        bucket layouts make the histogram merge exact)."""
+        from ..obs import MetricsRegistry
+        return MetricsRegistry.merged(self.metrics_snapshots())
+
     def stats(self) -> dict:
         workers = {}
         for wid, handle in self._handles.items():
@@ -805,6 +991,9 @@ class ClusterEstimateService:
                 "alive": handle.alive(),
                 "in_flight": handle.in_flight,
                 "dispatched": handle.dispatched,
+                "ewma_batch_seconds": handle.ewma_seconds,
+                # Deprecated: duplicate of ewma_batch_seconds in ms.
+                # Kept one release for external readers; see README.
                 "ewma_batch_ms": None if handle.ewma_seconds is None
                 else handle.ewma_seconds * 1e3,
             }

@@ -35,6 +35,14 @@ Three layers, each usable on its own:
     A minimal keep-alive JSON client over ``asyncio.open_connection``
     used by the tests, the CLI smoke mode, and the open-loop load
     generator in :mod:`repro.bench.load_bench`.
+
+Observability: the door exposes ``GET /metrics`` (Prometheus text
+0.0.4; merges the front's worker snapshots when the front is a
+cluster) and ``GET /debug/traces`` (JSON dump of the recent/slow trace
+rings).  Every ``/estimate`` request opens a :class:`~repro.obs.Trace`
+at accept time and threads it through ``submit`` so admission wait,
+micro-batch queue wait, engine compute, and settle all land on one
+timeline.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ from functools import partial
 
 import numpy as np
 
+from ..obs import MetricsRegistry, Trace, TraceRecorder
 from ..workload.sqlparse import SQLParseError, parse_query
 from .cluster import LoadShedError
 from .placement import WorkerUnavailableError
@@ -129,12 +138,13 @@ class AsyncEstimateService:
         submit_params = inspect.signature(front.submit).parameters
         batch_params = inspect.signature(front.estimate_batch).parameters
         self._submit_ns = "namespace" in submit_params
+        self._submit_trace = "trace" in submit_params
         self._batch_ns = "namespace" in batch_params
         self._batch_cache = "use_cache" in batch_params
         self.cancelled = 0
 
     # -- internals -----------------------------------------------------
-    def _submit_kwargs(self, namespace, deadline_ms) -> dict:
+    def _submit_kwargs(self, namespace, deadline_ms, trace=None) -> dict:
         kwargs = {"deadline_ms": deadline_ms}
         if self._submit_ns:
             kwargs["namespace"] = namespace
@@ -142,6 +152,8 @@ class AsyncEstimateService:
             raise UnknownNamespaceError(
                 f"front {type(self.front).__name__} is single-namespace; "
                 f"got namespace={namespace!r}")
+        if trace is not None and self._submit_trace:
+            kwargs["trace"] = trace
         return kwargs
 
     async def _enqueue(self, fn):
@@ -166,13 +178,14 @@ class AsyncEstimateService:
             raise
 
     async def submit_request(self, query, *, namespace: str | None = None,
-                             deadline_ms: float | None = None):
+                             deadline_ms: float | None = None,
+                             trace: Trace | None = None):
         """Awaitable submit returning the **settled** request handle
         (value, version, latency all inspectable).  Raises the handle's
         typed error.  Cancelling the await abandons the query."""
         request = await self._enqueue(partial(
             self.front.submit, query,
-            **self._submit_kwargs(namespace, deadline_ms)))
+            **self._submit_kwargs(namespace, deadline_ms, trace)))
         loop = asyncio.get_running_loop()
         settled: asyncio.Future = loop.create_future()
 
@@ -348,7 +361,10 @@ class HTTPFrontDoor:
                  host: str = "127.0.0.1", port: int = 0,
                  max_inflight: int = 64, max_body: int = 1 << 20,
                  default_deadline_ms: float | None = None,
-                 retry_after_s: float = 0.05, parser=parse_query):
+                 retry_after_s: float = 0.05, parser=parse_query,
+                 metrics: MetricsRegistry | None = None,
+                 trace_capacity: int = 128,
+                 slow_trace_threshold_s: float = 0.25):
         self.service = service
         self.host = host
         self.port = port                    # 0 -> ephemeral; set on start
@@ -360,11 +376,62 @@ class HTTPFrontDoor:
         self._server: asyncio.AbstractServer | None = None
         self._inflight = 0
         self._space = asyncio.Condition()
-        self.requests = 0
-        self.served = 0
-        self.sheds = 0
-        self.disconnects = 0
-        self.status_counts: dict[int, int] = {}
+        # Share the serving front's registry when it has one, so a
+        # single /metrics scrape covers the whole process; a cluster
+        # front additionally contributes its workers' snapshots via
+        # metrics_snapshots() at scrape time.
+        front_metrics = getattr(service.front, "metrics", None)
+        if metrics is not None:
+            self.metrics = metrics
+        elif isinstance(front_metrics, MetricsRegistry):
+            self.metrics = front_metrics
+        else:
+            self.metrics = MetricsRegistry()
+        self.traces = TraceRecorder(
+            capacity=trace_capacity,
+            slow_threshold_s=slow_trace_threshold_s)
+        self._c_requests = self.metrics.counter(
+            "repro_http_requests_total", "HTTP requests accepted")
+        self._f_responses = self.metrics.counter(
+            "repro_http_responses_total", "HTTP responses by status",
+            labels=("status",))
+        self._c_served = self.metrics.counter(
+            "repro_http_served_total", "HTTP 200 responses")
+        self._c_sheds = self.metrics.counter(
+            "repro_http_sheds_total", "requests shed at the admission "
+            "window")
+        self._c_disconnects = self.metrics.counter(
+            "repro_http_disconnects_total", "clients gone mid-request")
+        self._h_request = self.metrics.histogram(
+            "repro_http_request_seconds", "request handling latency",
+            labels=("route",))
+        self.metrics.gauge(
+            "repro_http_inflight", "requests inside the admission "
+            "window").set_function(lambda: self._inflight)
+
+    # -- registry-backed wire stats (kept as read-only properties so the
+    # pre-obs `door.requests` / `door.status_counts` callers still work)
+    @property
+    def requests(self) -> int:
+        return int(self._c_requests.value)
+
+    @property
+    def served(self) -> int:
+        return int(self._c_served.value)
+
+    @property
+    def sheds(self) -> int:
+        return int(self._c_sheds.value)
+
+    @property
+    def disconnects(self) -> int:
+        return int(self._c_disconnects.value)
+
+    @property
+    def status_counts(self) -> dict[int, int]:
+        return {int(labels["status"]): int(child.value)
+                for labels, child in self._f_responses.series()
+                if child.value}
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> "HTTPFrontDoor":
@@ -388,7 +455,7 @@ class HTTPFrontDoor:
         async with self._space:
             if self._inflight >= self.max_inflight \
                     and deadline_ms is not None:
-                self.sheds += 1
+                self._c_sheds.inc()
                 raise LoadShedError(
                     f"front door saturated ({self.max_inflight} requests "
                     "in flight) and the request carries a deadline")
@@ -422,7 +489,7 @@ class HTTPFrontDoor:
                     break
                 result = await self._serve_one(conn, method, path, body)
                 if result is None:          # client disconnected
-                    self.disconnects += 1
+                    self._c_disconnects.inc()
                     break
                 status, payload, extra = result
                 await self._respond(writer, status, payload,
@@ -504,14 +571,21 @@ class HTTPFrontDoor:
         return None
 
     # -- routing -------------------------------------------------------
+    def _count_status(self, status: int) -> None:
+        self._f_responses.labels(status=str(status)).inc()
+
     async def _dispatch(self, method: str, path: str, body: bytes):
-        self.requests += 1
+        self._c_requests.inc()
+        t0 = time.perf_counter()
         path = path.split("?", 1)[0]
         routes = {"/estimate": ("POST", self._h_estimate),
                   "/estimate_batch": ("POST", self._h_estimate_batch),
                   "/feedback": ("POST", self._h_feedback),
                   "/status": ("GET", self._h_status),
-                  "/healthz": ("GET", self._h_healthz)}
+                  "/healthz": ("GET", self._h_healthz),
+                  "/metrics": ("GET", self._h_metrics),
+                  "/debug/traces": ("GET", self._h_debug_traces)}
+        route = path if path in routes else "other"
         try:
             if path not in routes:
                 raise _EarlyResponse(404, {"error": "NotFound",
@@ -533,20 +607,21 @@ class HTTPFrontDoor:
             raise
         except _EarlyResponse as early:
             status, out, extra = early.status, early.payload, early.extra
-            self.status_counts[status] = \
-                self.status_counts.get(status, 0) + 1
+            self._count_status(status)
             return status, out, extra
         except Exception as exc:            # noqa: BLE001 - typed mapping
             status = status_for(exc)
             out = {"error": type(exc).__name__, "detail": str(exc)}
             extra = (("Retry-After", f"{self.retry_after_s:.3f}"),) \
                 if status == 503 else ()
-            self.status_counts[status] = \
-                self.status_counts.get(status, 0) + 1
+            self._count_status(status)
             return status, out, extra
-        self.status_counts[status] = self.status_counts.get(status, 0) + 1
+        finally:
+            self._h_request.labels(route=route).observe(
+                time.perf_counter() - t0)
+        self._count_status(status)
         if status == 200:
-            self.served += 1
+            self._c_served.inc()
         return status, out, ()
 
     # -- handlers ------------------------------------------------------
@@ -568,17 +643,26 @@ class HTTPFrontDoor:
         return deadline_ms
 
     async def _h_estimate(self, payload: dict):
-        query = self._query_from(payload)
-        namespace = payload.get("namespace")
-        deadline_ms = self._deadline_from(payload,
-                                          self.default_deadline_ms)
-        await self._admit(deadline_ms)
+        trace = Trace("http_estimate")
         try:
-            request = await self.service.submit_request(
-                query, namespace=namespace, deadline_ms=deadline_ms)
-        finally:
-            await self._release()
-        out = {"estimate": float(request.result(timeout=0))}
+            query = self._query_from(payload)
+            namespace = payload.get("namespace")
+            deadline_ms = self._deadline_from(payload,
+                                              self.default_deadline_ms)
+            trace.set(namespace=namespace, deadline_ms=deadline_ms)
+            with trace.span("admission"):
+                await self._admit(deadline_ms)
+            try:
+                request = await self.service.submit_request(
+                    query, namespace=namespace, deadline_ms=deadline_ms,
+                    trace=trace)
+            finally:
+                await self._release()
+        except BaseException as exc:
+            self.traces.record(trace.finish(error=type(exc).__name__))
+            raise
+        out = {"estimate": float(request.result(timeout=0)),
+               "trace_id": trace.trace_id}
         if getattr(request, "version", None) is not None:
             out["version"] = int(request.version)
         if getattr(request, "from_cache", False):
@@ -586,6 +670,7 @@ class HTTPFrontDoor:
         latency = request.latency()
         if latency is not None:
             out["service_ms"] = latency * 1e3
+        self.traces.record(trace.finish(status=200))
         return 200, out
 
     async def _h_estimate_batch(self, payload: dict):
@@ -644,13 +729,42 @@ class HTTPFrontDoor:
     async def _h_healthz(self, payload: dict):
         return 200, {"ok": True}
 
+    async def _h_metrics(self, payload: dict):
+        """Prometheus text exposition.  A cluster front contributes its
+        workers' registry snapshots (labelled ``worker=...``); other
+        fronts share one registry with the door, so a single render
+        covers the whole process."""
+        front = self.service.front
+        snaps = getattr(front, "metrics_snapshots", None)
+        if callable(snaps):
+            loop = asyncio.get_running_loop()
+            pairs = list(await loop.run_in_executor(None, snaps))
+            if getattr(front, "metrics", None) is not self.metrics:
+                pairs.append((self.metrics.snapshot(), None))
+            return 200, MetricsRegistry.merged(pairs).render()
+        front_metrics = getattr(front, "metrics", None)
+        if isinstance(front_metrics, MetricsRegistry) \
+                and front_metrics is not self.metrics:
+            pairs = [(self.metrics.snapshot(), None),
+                     (front_metrics.snapshot(), None)]
+            return 200, MetricsRegistry.merged(pairs).render()
+        return 200, self.metrics.render()
+
+    async def _h_debug_traces(self, payload: dict):
+        return 200, self.traces.to_dict()
+
     # -- response ------------------------------------------------------
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: dict, extra_headers=(),
+                       payload, extra_headers=(),
                        keep_alive: bool = True) -> None:
-        body = json.dumps(_jsonable(payload)).encode("utf-8")
+        if isinstance(payload, str):        # /metrics exposition text
+            body = payload.encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(_jsonable(payload)).encode("utf-8")
+            ctype = "application/json"
         lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}",
-                 "Content-Type: application/json",
+                 f"Content-Type: {ctype}",
                  f"Content-Length: {len(body)}",
                  f"Connection: {'keep-alive' if keep_alive else 'close'}"]
         lines += [f"{name}: {value}" for name, value in extra_headers]
@@ -748,7 +862,12 @@ class AsyncHTTPClient:
         raw = await reader.readexactly(length) if length else b""
         if resp_headers.get("connection", "").lower() == "close":
             await self.close()
-        out = json.loads(raw.decode("utf-8")) if raw else {}
+        if not raw:
+            out: dict | str = {}
+        elif "json" in resp_headers.get("content-type", "json"):
+            out = json.loads(raw.decode("utf-8"))
+        else:                               # /metrics text exposition
+            out = raw.decode("utf-8")
         return status, out, resp_headers
 
     async def get(self, path: str):

@@ -122,7 +122,8 @@ class RefinementPool:
     on the first ``submit``.
     """
 
-    def __init__(self, max_workers: int = 1, name: str = "refinement-pool"):
+    def __init__(self, max_workers: int = 1, name: str = "refinement-pool",
+                 metrics=None):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = int(max_workers)
@@ -137,6 +138,25 @@ class RefinementPool:
         self.completed = 0
         self.failed = 0
         self.per_namespace: dict[str, int] = {}
+        self.metrics = metrics
+        self._c_jobs = self._h_job = self._h_queue_wait = None
+        if metrics is not None:
+            self._c_jobs = metrics.counter(
+                "repro_pool_jobs_total", "Refinement-pool jobs finished",
+                ("namespace", "outcome"))
+            self._h_job = metrics.histogram(
+                "repro_pool_job_seconds", "Refinement job run time",
+                ("namespace",))
+            self._h_queue_wait = metrics.histogram(
+                "repro_pool_queue_wait_seconds",
+                "Time a refinement job waited for a pool worker",
+                ("namespace",))
+            metrics.gauge("repro_pool_active",
+                          "Refinement jobs currently running") \
+                .set_function(lambda: float(self._active))
+            metrics.gauge("repro_pool_pending",
+                          "Refinement jobs queued behind the workers") \
+                .set_function(lambda: float(self.pending()))
 
     # ------------------------------------------------------------------
     def _spawn_workers_locked(self) -> None:
@@ -213,6 +233,14 @@ class RefinementPool:
                     self.per_namespace[job.namespace] = \
                         self.per_namespace.get(job.namespace, 0) + 1
                     self._cond.notify_all()
+                if self._c_jobs is not None:
+                    outcome = "error" if job._error is not None else "ok"
+                    self._c_jobs.labels(namespace=job.namespace,
+                                        outcome=outcome).inc()
+                    self._h_job.labels(namespace=job.namespace).observe(
+                        job.finished_at - job.started_at)
+                    self._h_queue_wait.labels(namespace=job.namespace) \
+                        .observe(job.started_at - job.submitted_at)
 
     def stop(self) -> None:
         """Stop workers; queued-but-unstarted jobs fail with RuntimeError."""
@@ -410,9 +438,17 @@ class RoutedEstimateService:
                  max_wait_ms: float = 2.0, seed: int = 0,
                  refine_epochs: int = 8, data_epochs: int = 3,
                  auto_refine: bool = False,
-                 train_backend: str | None = None):
+                 train_backend: str | None = None,
+                 metrics=None, events=None):
+        from ..obs import EVENTS, MetricsRegistry
         self.registry = MultiTableRegistry()
-        self.pool = RefinementPool(max_workers=pool_workers)
+        # One shared metrics registry + event log across namespaces: the
+        # routed front door (and /metrics) sees every namespace's series
+        # side by side, distinguished by the ``namespace`` label.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EVENTS
+        self.pool = RefinementPool(max_workers=pool_workers,
+                                   metrics=self.metrics)
         self._seed = int(seed)
         self._defaults = dict(cache_capacity=cache_capacity,
                               keep_versions=keep_versions,
@@ -420,7 +456,8 @@ class RoutedEstimateService:
                               refine_epochs=refine_epochs,
                               data_epochs=data_epochs,
                               auto_refine=auto_refine,
-                              train_backend=train_backend)
+                              train_backend=train_backend,
+                              metrics=self.metrics, events=self.events)
         self._running = False
 
     # ------------------------------------------------------------------
@@ -499,9 +536,11 @@ class RoutedEstimateService:
     # Serving
     # ------------------------------------------------------------------
     def submit(self, query, *, namespace: str | None = None,
-               deadline_ms: float | None = None) -> EstimateRequest:
+               deadline_ms: float | None = None,
+               trace=None) -> EstimateRequest:
         space = self.resolve(query, namespace=namespace)
-        return space.server.submit(query, deadline_ms=deadline_ms)
+        return space.server.submit(query, deadline_ms=deadline_ms,
+                                   trace=trace)
 
     def estimate(self, query, *, namespace: str | None = None,
                  deadline_ms: float | None = None) -> float:

@@ -28,6 +28,7 @@ import time
 import numpy as np
 
 from ..core.uae import UAE
+from ..obs import EVENTS, MetricsRegistry
 from ..workload.predicate import LabeledWorkload, Query
 from .cache import ResultCache
 from .feedback import FeedbackCollector
@@ -45,7 +46,8 @@ class UAEServer:
                  auto_refine: bool = False, seed: int = 0,
                  train_backend: str | None = None,
                  namespace: str = "default", pool=None,
-                 expander=None, scale: float | None = None):
+                 expander=None, scale: float | None = None,
+                 metrics: MetricsRegistry | None = None, events=None):
         # Refinement runs on the trainer's configured training backend —
         # the fused engine by default (see ``UAEConfig.train_backend``),
         # which is what keeps drift-triggered hot-swaps fresh under live
@@ -70,10 +72,18 @@ class UAEServer:
         self.registry = ModelRegistry(estimator, keep_versions=keep_versions,
                                       name=namespace)
         self.cache = ResultCache(capacity=cache_capacity)
+        # One metrics registry + event log threaded through the whole
+        # stack (service, trainer, engine); routed deployments pass a
+        # shared registry so every namespace lands in one /metrics.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EVENTS
+        estimator.metrics = self.metrics
         self.service = EstimateService(self.registry, self.cache,
                                        max_batch=max_batch,
                                        max_wait_ms=max_wait_ms, seed=seed,
-                                       expander=expander, scale=scale)
+                                       expander=expander, scale=scale,
+                                       metrics=self.metrics,
+                                       events=self.events)
         # Not `feedback or ...`: an empty collector is falsy (__len__).
         self.feedback = feedback if feedback is not None \
             else FeedbackCollector()
@@ -87,6 +97,40 @@ class UAEServer:
         self._refine_thread: threading.Thread | None = None
         self._staged_data: list[np.ndarray] = []
         self.refinements: list[dict] = []
+        ns = self.namespace
+        m = self.metrics
+        self._c_swaps = m.counter(
+            "repro_swaps_total", "Model versions hot-swapped live",
+            ("namespace", "source"))
+        self._c_rollbacks = m.counter(
+            "repro_rollbacks_total", "Registry rollbacks to a prior version",
+            ("namespace",)).labels(namespace=ns)
+        self._c_refine = m.counter(
+            "repro_refinements_total", "Refinement runs completed",
+            ("namespace",)).labels(namespace=ns)
+        self._h_refine = m.histogram(
+            "repro_refinement_seconds", "Wall time per refinement run",
+            ("namespace",)).labels(namespace=ns)
+        self._c_drift = m.counter(
+            "repro_drift_triggers_total",
+            "Times the rolling q-error crossed the refinement threshold",
+            ("namespace",)).labels(namespace=ns)
+        # Rolling serving-accuracy gauges (satellite of the continuous-
+        # learning loop): sampled lazily at scrape time, so an idle
+        # collector costs nothing.
+        fb = self.feedback
+        m.gauge("repro_qerror", "Rolling serving q-error quantile",
+                ("namespace", "quantile")) \
+            .labels(namespace=ns, quantile="p50") \
+            .set_function(lambda: fb.monitor.quantile(0.5))
+        m.gauge("repro_qerror", "Rolling serving q-error quantile",
+                ("namespace", "quantile")) \
+            .labels(namespace=ns, quantile="p95") \
+            .set_function(lambda: fb.monitor.quantile(0.95))
+        m.gauge("repro_feedback_observations",
+                "Labeled feedback samples in the rolling window",
+                ("namespace",)) \
+            .labels(namespace=ns).set_function(lambda: float(len(fb.monitor)))
 
     # ------------------------------------------------------------------
     # Serving
@@ -116,9 +160,10 @@ class UAEServer:
                  deadline_ms: float | None = None) -> float:
         return self.service.estimate(query, deadline_ms=deadline_ms)
 
-    def submit(self, query: Query,
-               deadline_ms: float | None = None) -> EstimateRequest:
-        return self.service.submit(query, deadline_ms=deadline_ms)
+    def submit(self, query: Query, deadline_ms: float | None = None,
+               trace=None) -> EstimateRequest:
+        return self.service.submit(query, deadline_ms=deadline_ms,
+                                   trace=trace)
 
     def estimate_batch(self, queries: list[Query], seed: int | None = None,
                        use_cache: bool = True) -> np.ndarray:
@@ -140,6 +185,7 @@ class UAEServer:
         err = self.feedback.record(query, estimate, true_cardinality)
         if self.auto_refine and self.feedback.should_refine() \
                 and not self.refining:
+            self._drift_triggered()
             self.refine(background=True)
         return err
 
@@ -148,10 +194,17 @@ class UAEServer:
         thread = self._refine_thread
         return thread is not None and thread.is_alive()
 
+    def _drift_triggered(self) -> None:
+        self._c_drift.inc()
+        self.events.emit("drift_trigger", namespace=self.namespace,
+                         drift=self.feedback.drift(),
+                         threshold=self.feedback.threshold)
+
     def maintain(self) -> dict | None:
         """One inline maintenance step: refine iff drift says so."""
         if not self.feedback.should_refine():
             return None
+        self._drift_triggered()
         return self.refine()
 
     def stage_data(self, new_codes: np.ndarray) -> None:
@@ -223,6 +276,9 @@ class UAEServer:
                     epochs: int | None) -> dict:
         with self._refine_lock:
             start = time.perf_counter()
+            self.events.emit("refinement_start", namespace=self.namespace,
+                             queries=0 if workload is None else len(workload),
+                             rows=int(sum(len(c) for c in staged)))
             rows = 0
             for codes in staged:
                 self.trainer.ingest_data(codes, epochs=self.data_epochs)
@@ -250,6 +306,14 @@ class UAEServer:
                       "rows": rows,
                       "seconds": time.perf_counter() - start}
             self.refinements.append(record)
+            self._c_refine.inc()
+            self._h_refine.observe(record["seconds"])
+            self._c_swaps.labels(namespace=self.namespace,
+                                 source=mv.source).inc()
+            self.events.emit("refinement_finish", namespace=self.namespace,
+                             **record)
+            self.events.emit("swap_publish", namespace=self.namespace,
+                             version=mv.version, source=mv.source)
             return record
 
     def join_refinement(self, timeout: float | None = None) -> None:
@@ -270,6 +334,9 @@ class UAEServer:
             record = {"version": mv.version, "source": mv.source,
                       "queries": 0, "rows": 0, "seconds": 0.0}
             self.refinements.append(record)
+            self._c_rollbacks.inc()
+            self.events.emit("rollback", namespace=self.namespace,
+                             version=mv.version, source=mv.source)
             return record
 
     def ingest_data(self, new_codes: np.ndarray,
@@ -284,6 +351,12 @@ class UAEServer:
                       "rows": int(len(new_codes)),
                       "seconds": time.perf_counter() - start}
             self.refinements.append(record)
+            self._c_refine.inc()
+            self._h_refine.observe(record["seconds"])
+            self._c_swaps.labels(namespace=self.namespace,
+                                 source=mv.source).inc()
+            self.events.emit("swap_publish", namespace=self.namespace,
+                             version=mv.version, source=mv.source)
             return record
 
     # ------------------------------------------------------------------

@@ -41,9 +41,13 @@ from collections import deque
 
 import numpy as np
 
+from ..obs import EVENTS, MetricsRegistry, log_buckets
 from ..workload.predicate import Query
 from .cache import ResultCache
 from .registry import ModelRegistry, ModelVersion
+
+#: Bucket layout for micro-batch sizes (1 .. max_batch, geometric).
+BATCH_SIZE_BUCKETS = log_buckets(1.0, 512.0, per_decade=4)
 
 
 class RequestCancelledError(RuntimeError):
@@ -62,14 +66,15 @@ class EstimateRequest:
 
     __slots__ = ("query", "constraints", "key", "deadline", "submitted_at",
                  "completed_at", "version", "from_cache", "cancelled",
-                 "_lock", "_callbacks", "_event", "_value", "_error")
+                 "trace", "_lock", "_callbacks", "_event", "_value", "_error")
 
     def __init__(self, query: Query, constraints: list, key: bytes | None,
-                 deadline: float | None):
+                 deadline: float | None, trace=None):
         self.query = query
         self.constraints = constraints
         self.key = key
         self.deadline = deadline          # absolute perf_counter time
+        self.trace = trace                # optional obs.Trace
         self.submitted_at = time.perf_counter()
         self.completed_at: float | None = None
         self.version: int | None = None
@@ -152,7 +157,8 @@ class EstimateService:
     def __init__(self, registry: ModelRegistry, cache: ResultCache | None = None,
                  *, max_batch: int = 32, max_wait_ms: float = 2.0,
                  seed: int = 0, latency_window: int = 100_000,
-                 expander=None, scale: float | None = None):
+                 expander=None, scale: float | None = None,
+                 metrics: MetricsRegistry | None = None, events=None):
         self.registry = registry
         self.cache = cache
         # Query translation hooks for non-table namespaces (joins): an
@@ -176,14 +182,89 @@ class EstimateService:
         # EWMA of per-query compute seconds; None until the first flush
         # is measured (no shedding before there is an observation).
         self._cost_per_query: float | None = None
-        self.served = 0
-        self.cache_served = 0
-        self.failures = 0
-        self.deadline_misses = 0
-        self.budget_sheds = 0
-        self.cancellations = 0
-        self.flushes = 0
         self.latencies: deque[float] = deque(maxlen=latency_window)
+        # All counters live in the metrics registry (one shared registry
+        # across namespaces when routed); ``served`` & friends are
+        # read-only properties over the namespace-labeled children.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else EVENTS
+        ns = self.namespace = registry.name
+        m = self.metrics
+        lab = ("namespace",)
+        self._c_served = m.counter(
+            "repro_serve_served_total",
+            "Requests answered with an estimate", lab).labels(namespace=ns)
+        self._c_cache = m.counter(
+            "repro_serve_cache_hits_total",
+            "Requests answered from the result cache", lab).labels(namespace=ns)
+        self._c_deadline = m.counter(
+            "repro_serve_deadline_misses_total",
+            "Requests failed because their deadline lapsed", lab).labels(namespace=ns)
+        self._c_sheds = m.counter(
+            "repro_serve_budget_sheds_total",
+            "Requests shed pre-compute by the deadline budget projection",
+            lab).labels(namespace=ns)
+        self._c_cancel = m.counter(
+            "repro_serve_cancellations_total",
+            "Requests abandoned by their caller", lab).labels(namespace=ns)
+        self._c_flushes = m.counter(
+            "repro_serve_flushes_total",
+            "Micro-batch flushes through the engine", lab).labels(namespace=ns)
+        self._f_failures = m.counter(
+            "repro_serve_failures_total",
+            "Requests failed by an engine/compute error",
+            ("namespace", "error"))
+        self._h_latency = m.histogram(
+            "repro_serve_latency_seconds",
+            "Submit-to-settle latency of served requests", lab).labels(namespace=ns)
+        self._h_stage = m.histogram(
+            "repro_serve_stage_seconds",
+            "Per-request time in each serving stage",
+            ("namespace", "stage"))
+        self._h_batch = m.histogram(
+            "repro_serve_batch_size",
+            "Live requests per micro-batch flush", lab,
+            buckets=BATCH_SIZE_BUCKETS).labels(namespace=ns)
+        m.gauge("repro_serve_queue_depth",
+                "Requests waiting for the next micro-batch", lab) \
+            .labels(namespace=ns).set_function(lambda: len(self._pending))
+        m.gauge("repro_serve_model_version",
+                "Active model version in the registry", lab) \
+            .labels(namespace=ns).set_function(lambda: self.registry.version)
+
+    # ------------------------------------------------------------------
+    # Registry-backed counters (kept as read-only attributes for
+    # backward compatibility with the pre-obs ``stats()`` surface).
+    # ------------------------------------------------------------------
+    @property
+    def served(self) -> int:
+        return int(self._c_served.value)
+
+    @property
+    def cache_served(self) -> int:
+        return int(self._c_cache.value)
+
+    @property
+    def failures(self) -> int:
+        return int(sum(child.value
+                       for labels, child in self._f_failures.series()
+                       if labels["namespace"] == self.namespace))
+
+    @property
+    def deadline_misses(self) -> int:
+        return int(self._c_deadline.value)
+
+    @property
+    def budget_sheds(self) -> int:
+        return int(self._c_sheds.value)
+
+    @property
+    def cancellations(self) -> int:
+        return int(self._c_cancel.value)
+
+    @property
+    def flushes(self) -> int:
+        return int(self._c_flushes.value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -224,13 +305,14 @@ class EstimateService:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def submit(self, query: Query,
-               deadline_ms: float | None = None) -> EstimateRequest:
+    def submit(self, query: Query, deadline_ms: float | None = None,
+               trace=None) -> EstimateRequest:
         """Enqueue one query; returns a future-like request handle.
 
         With no worker running the request is served inline (still via
         the scheduler, still cached) so the sync API never needs a
-        thread.
+        thread.  ``trace`` (an :class:`repro.obs.Trace`) rides on the
+        request and collects queue-wait/compute/settle spans.
         """
         snap = self.registry.active()
         constraints = self._expand(snap, query)
@@ -238,14 +320,20 @@ class EstimateService:
             if self.cache is not None else None
         deadline = None if deadline_ms is None \
             else time.perf_counter() + deadline_ms / 1e3
-        request = EstimateRequest(query, constraints, key, deadline)
+        request = EstimateRequest(query, constraints, key, deadline,
+                                  trace=trace)
         if key is not None:
             hit = self.cache.get(key, snap.version)
             if hit is not None:
                 request._complete(hit, snap.version, from_cache=True)
-                self.cache_served += 1
-                self.served += 1
-                self.latencies.append(request.latency())
+                self._c_cache.inc()
+                self._c_served.inc()
+                lat = request.latency()
+                self.latencies.append(lat)
+                self._h_latency.observe(lat)
+                if trace is not None:
+                    trace.add_span("cache_hit", request.submitted_at,
+                                   request.completed_at, version=snap.version)
                 return request
         enqueued = False
         with self._cond:
@@ -292,7 +380,7 @@ class EstimateService:
                 hit = self.cache.get(keys[i], snap.version)
                 if hit is not None:
                     out[i] = hit
-                    self.cache_served += 1
+                    self._c_cache.inc()
                     continue
             todo.append(i)
         if todo:
@@ -301,7 +389,7 @@ class EstimateService:
                 out[i] = cards[j]
                 if keys[i] is not None:
                     self.cache.put(keys[i], snap.version, float(cards[j]))
-        self.served += len(queries)
+        self._c_served.inc(len(queries))
         return out
 
     def estimate_on(self, snap: ModelVersion, queries: list[Query],
@@ -329,6 +417,11 @@ class EstimateService:
         rng = self._rng if seed is None else np.random.default_rng(seed)
         sampler = snap.model.sampler
         with self._engine_lock:
+            engine = sampler.scheduler.engine
+            if engine.metrics is not self.metrics:
+                # Each snapshot owns its engine; point it at the
+                # service registry so batch-loop metrics aggregate here.
+                engine.metrics = self.metrics
             sels = sampler.scheduler.estimate_many(
                 constraint_lists, sampler.num_samples, rng)
         if self.scale is not None:
@@ -379,20 +472,24 @@ class EstimateService:
             if req.cancelled:
                 # Abandoned by the caller (e.g. an asyncio client went
                 # away): never give it a batch slot or engine time.
-                self.cancellations += 1
+                self._c_cancel.inc()
+                self.events.emit("cancel", namespace=self.namespace,
+                                 stage="pre_compute")
                 continue
             if req.deadline is not None and now > req.deadline:
                 if req._fail(TimeoutError("deadline expired before "
                                           "compute")):
-                    self.deadline_misses += 1
+                    self._c_deadline.inc()
                 continue
             if req.key is not None:
                 hit = self.cache.get(req.key, snap.version)
                 if hit is not None:
                     if req._complete(hit, snap.version, from_cache=True):
-                        self.cache_served += 1
-                        self.served += 1
-                        self.latencies.append(req.latency())
+                        self._c_cache.inc()
+                        self._c_served.inc()
+                        lat = req.latency()
+                        self.latencies.append(lat)
+                        self._h_latency.observe(lat)
                     continue
             live.append(req)
         if not live:
@@ -412,8 +509,11 @@ class EstimateService:
                     if req._fail(TimeoutError(
                             "remaining deadline budget below projected "
                             "compute cost; shed before compute")):
-                        self.budget_sheds += 1
-                        self.deadline_misses += 1
+                        self._c_sheds.inc()
+                        self._c_deadline.inc()
+                        self.events.emit("shed", namespace=self.namespace,
+                                         reason="budget",
+                                         projected_eta_s=eta - now)
                     continue
                 kept.append(req)
             if not kept:
@@ -421,19 +521,36 @@ class EstimateService:
             if len(kept) != len(live):      # keep submission order
                 kept_ids = {id(req) for req in kept}
                 live = [req for req in live if id(req) in kept_ids]
-        self.flushes += 1
+        self._c_flushes.inc()
+        self._h_batch.observe(len(live))
+        stage_queue = self._h_stage.labels(namespace=self.namespace,
+                                           stage="queue_wait")
+        for req in live:
+            stage_queue.observe(now - req.submitted_at)
+            if req.trace is not None:
+                req.trace.add_span("queue_wait", req.submitted_at, now)
         try:
             cards = self._compute(snap, [r.constraints for r in live])
         except BaseException as exc:  # noqa: BLE001 - fail the batch, keep serving
+            fail = self._f_failures.labels(namespace=self.namespace,
+                                           error=type(exc).__name__)
             for req in live:
                 if req._fail(exc):
-                    self.failures += 1
+                    fail.inc()
             return
         done_at = time.perf_counter()
         per_query = (done_at - now) / len(live)
         self._cost_per_query = per_query if self._cost_per_query is None \
             else 0.75 * self._cost_per_query + 0.25 * per_query
+        stage_compute = self._h_stage.labels(namespace=self.namespace,
+                                             stage="compute")
+        stage_settle = self._h_stage.labels(namespace=self.namespace,
+                                            stage="settle")
         for req, card in zip(live, cards):
+            stage_compute.observe(done_at - now)
+            if req.trace is not None:
+                req.trace.add_span("compute", now, done_at,
+                                   batch=len(live), version=snap.version)
             if req.key is not None:
                 # Cache regardless of the requester's deadline — the
                 # estimate is valid for this version either way.
@@ -441,15 +558,22 @@ class EstimateService:
             if req.deadline is not None and done_at > req.deadline:
                 if req._fail(TimeoutError("deadline expired during "
                                           "compute")):
-                    self.deadline_misses += 1
+                    self._c_deadline.inc()
                 continue
             if req._complete(float(card), snap.version):
-                self.served += 1
-                self.latencies.append(req.latency())
+                self._c_served.inc()
+                lat = req.latency()
+                self.latencies.append(lat)
+                self._h_latency.observe(lat)
+                stage_settle.observe(req.completed_at - done_at)
+                if req.trace is not None:
+                    req.trace.add_span("settle", done_at, req.completed_at)
             else:
                 # Cancelled while the engine ran: the answer is valid
                 # (and cached above) but nobody is waiting for it.
-                self.cancellations += 1
+                self._c_cancel.inc()
+                self.events.emit("cancel", namespace=self.namespace,
+                                 stage="post_compute")
 
     # ------------------------------------------------------------------
     def latency_quantiles(self) -> dict[str, float]:
@@ -464,6 +588,9 @@ class EstimateService:
                 "mean_ms": float(arr.mean() * 1e3)}
 
     def stats(self) -> dict:
+        # Counters come straight from the metrics registry (the same
+        # series exposed on /metrics); time-valued keys carry explicit
+        # unit suffixes (``*_ms``, ``*_seconds``).
         out = {"served": self.served, "cache_served": self.cache_served,
                "failures": self.failures,
                "deadline_misses": self.deadline_misses,
@@ -471,6 +598,7 @@ class EstimateService:
                "cancellations": self.cancellations,
                "flushes": self.flushes,
                "model_version": self.registry.version,
+               "cost_ewma_seconds": self._cost_per_query,
                **self.latency_quantiles()}
         if self.cache is not None:
             out["cache"] = self.cache.stats()

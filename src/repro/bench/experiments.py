@@ -721,6 +721,13 @@ def run_serving_load(profile: Profile | None = None) -> dict:
     return _run(profile)
 
 
+def run_serving_chaos(profile: Profile | None = None) -> dict:
+    """Self-healing chaos scenario (standalone; also embedded in
+    BENCH_serve.json by the `serving` experiment)."""
+    from .serve_bench import run_chaos as _run
+    return _run(profile)
+
+
 def run_training_bench(profile: Profile | None = None) -> dict:
     """Training-engine microbenchmark (writes BENCH_train.json)."""
     from .train_bench import run_training as _run
@@ -733,6 +740,7 @@ EXPERIMENTS = {
     "serving_multi": run_serving_multi,
     "serving_scale": run_serving_scale,
     "serving_load": run_serving_load,
+    "serving_chaos": run_serving_chaos,
     "training": run_training_bench,
     "table1": capability_matrix,
     "sub_baselines": run_sub_baselines,

@@ -36,12 +36,13 @@ import numpy as np
 from ..core import UAE
 from ..data import Table, load
 from ..data.schema import make_imdb
-from ..serve import (HAVE_SHARED_MEMORY, ClusterEstimateService,
-                     FeedbackCollector, LoadShedError,
+from ..serve import (HAVE_SHARED_MEMORY, ChaosPlan, ClusterEstimateService,
+                     FeedbackCollector, LoadShedError, ModelOpsConfig,
                      RoutedEstimateService, UAEServer,
-                     UnknownNamespaceError)
+                     UnknownNamespaceError, WorkerUnavailableError)
 from ..workload import (Predicate, Query, WorkloadConfig,
                         generate_inworkload, summarize)
+from ..workload.metrics import qerrors
 from .profiles import Profile, current_profile
 from .reporting import RESULTS_DIR
 
@@ -478,11 +479,321 @@ def run_scale_out(profile: Profile | None = None,
             **payload}
 
 
+def run_chaos(profile: Profile | None = None,
+              raise_on_failure: bool = True,
+              include_single: bool = True,
+              include_cluster: bool = True,
+              workers: int = 2) -> dict:
+    """The self-healing chaos scenario: seeded faults injected into the
+    serving stack must be *healed*, not merely survived.
+
+    Single-process part (model-ops, :mod:`repro.serve.modelops`):
+
+    * **shadow reject** — a ``refine.weights`` poison fault corrupts a
+      refinement candidate; shadow validation must reject it, publish
+      nothing, and restore the trainer bit-identically;
+    * **tripwire rollback** — the same poison published past a disabled
+      gate must trip the post-swap q-error tripwire within a bounded
+      observation window and auto-roll-back; post-heal seeded answers
+      must be bit-identical to pre-fault and post-heal accuracy no worse
+      than the pre-fault ceiling;
+    * **publish drop + cache warm** — a dropped publish attempt must be
+      retried transparently, and the post-swap warmer must prime the
+      result cache with the hottest signatures;
+    * **feedback corruption** — a corrupted truth label must flow
+      through as a (bad) typed observation, never a crash.
+
+    Cluster part (supervision, :mod:`repro.serve.supervisor`): a
+    ``worker.batch`` kill fault SIGKILLs a worker mid-stream; the
+    supervisor must restart it within a bounded window, the restarted
+    worker must serve bit-identical seeded answers from the retained
+    snapshot segments, and every surfaced error must be typed.
+    """
+    profile = profile or current_profile()
+    rng = np.random.default_rng(97)
+    uae_kwargs = dict(hidden=profile.hidden, num_blocks=profile.num_blocks,
+                      est_samples=profile.est_samples,
+                      dps_samples=max(4, profile.dps_samples),
+                      batch_size=profile.batch_size,
+                      query_batch_size=profile.query_batch_size)
+    checks: dict[str, bool] = {}
+    rows: list[dict] = []
+    detail: dict = {}
+
+    if include_single:
+        name = profile.scale_datasets[0]
+        table = load(name, rows=profile.dataset_rows(name))
+        uae = UAE(table, seed=0, **uae_kwargs)
+        uae.fit(epochs=max(1, profile.epochs // 3), mode="data")
+        n_queries = max(24, profile.scale_stream_queries // 2)
+        # Wide queries (few filters, generous bounds): truths well above
+        # 1, so a poisoned model's collapsed estimates (floored at 1 by
+        # the q-error metric) are *distinguishable* from healthy ones —
+        # hyper-selective probes would make every model look fine.
+        wl = generate_inworkload(
+            table, n_queries, rng,
+            cfg=WorkloadConfig(num_filters_min=1, num_filters_max=2,
+                               bounded_volume=0.3))
+        probes = list(wl.queries[:_PROBES])
+
+        # ------------------------------------------------------------
+        # 1. Shadow reject: poisoned candidate never publishes.
+        plan_a = ChaosPlan(seed=11)
+        plan_a.inject("refine.weights", "poison", at=1,
+                      params={"magnitude": 25.0})
+        cfg_a = ModelOpsConfig(reject_ratio=1.5, min_probes=4,
+                               cooldown_s=0.0, warm_top_n=0)
+        server_a = UAEServer(uae, refine_epochs=2, max_batch=32,
+                             max_wait_ms=2.0, seed=7, chaos=plan_a,
+                             modelops=cfg_a)
+        with server_a:
+            ests = server_a.estimate_batch(wl.queries)
+            for q, est, tru in zip(wl.queries, ests, wl.cardinalities):
+                server_a.observe(q, tru, estimate=float(est))
+            ref_pre = server_a.estimate_batch(probes, seed=_SEED,
+                                              use_cache=False)
+            record = server_a.refine()
+            ref_post = server_a.estimate_batch(probes, seed=_SEED,
+                                               use_cache=False)
+            checks["shadow_reject_fired"] = bool(
+                server_a.modelops.rejects) and bool(
+                record and record.get("rejected"))
+            checks["reject_no_publish"] = server_a.registry.version == 1
+            checks["reject_restores_weights"] = bool(
+                np.array_equal(ref_pre, ref_post))
+
+            # Feedback-stream corruption: contained, typed, observable.
+            plan_a.inject("feedback.record", "corrupt", at=1,
+                          params={"factor": 500.0})
+            q0 = wl.queries[0]
+            err = server_a.observe(q0, float(wl.cardinalities[0]),
+                                   estimate=float(ests[0]))
+            checks["feedback_corruption_contained"] = \
+                err >= 10.0 and server_a.service.failures == 0
+            stats_a = server_a.modelops.stats()
+        rows.append({"fault": "poison-refinement", "action": "reject",
+                     "observations": len(wl), "version": 1})
+        detail["shadow"] = {"verdict": stats_a["last_verdict"],
+                            "rejects": stats_a["rejects"]}
+
+        # ------------------------------------------------------------
+        # 2. Tripwire rollback: the same poison published past a
+        #    disabled gate must be rolled back from live traffic.
+        plan_b = ChaosPlan(seed=13)
+        plan_b.inject("refine.weights", "poison", at=1,
+                      params={"magnitude": 25.0})
+        plan_b.inject("publish.snapshot", "drop", at=2)
+        cfg_b = ModelOpsConfig(reject_ratio=float("inf"),
+                               tripwire_ratio=2.0, tripwire_window=16,
+                               tripwire_min_obs=6, cooldown_s=0.0,
+                               warm_top_n=16)
+        server_b = UAEServer(uae.clone(), refine_epochs=2, max_batch=32,
+                             max_wait_ms=2.0, seed=7, chaos=plan_b,
+                             modelops=cfg_b)
+        with server_b:
+            ests = server_b.estimate_batch(wl.queries)
+            for q, est, tru in zip(wl.queries, ests, wl.cardinalities):
+                server_b.observe(q, tru, estimate=float(est))
+            pre_seeded = server_b.estimate_batch(wl.queries, seed=_SEED,
+                                                 use_cache=False)
+            pre_q = float(qerrors(pre_seeded, wl.cardinalities).mean())
+            refs_pre = server_b.estimate_batch(probes, seed=_SEED,
+                                               use_cache=False)
+            server_b.refine()                  # publishes poisoned v2
+            checks["poison_published"] = server_b.registry.version == 2
+            budget = 3 * (cfg_b.tripwire_min_obs + cfg_b.tripwire_window)
+            obs_to_rollback = 0
+            for i in range(budget):
+                q = wl.queries[i % len(wl.queries)]
+                tru = float(wl.cardinalities[i % len(wl.queries)])
+                server_b.observe(q, tru, estimate=server_b.estimate(q))
+                obs_to_rollback += 1
+                if server_b.registry.version >= 3:
+                    break
+            checks["tripwire_rollback_fired"] = bool(
+                server_b.modelops.rollbacks) \
+                and server_b.registry.version == 3
+            checks["rollback_within_window"] = obs_to_rollback <= \
+                cfg_b.tripwire_min_obs + cfg_b.tripwire_window
+            post_heal = server_b.estimate_batch(probes, seed=_SEED,
+                                                use_cache=False)
+            checks["postheal_bit_identical"] = bool(
+                np.array_equal(post_heal, refs_pre))
+            post_seeded = server_b.estimate_batch(wl.queries, seed=_SEED,
+                                                  use_cache=False)
+            post_q = float(qerrors(post_seeded, wl.cardinalities).mean())
+            checks["postheal_qerr_under_ceiling"] = \
+                post_q <= max(pre_q, 1.0) * 1.05
+            rows.append({"fault": "poison-refinement+tripwire",
+                         "action": "rollback",
+                         "observations": obs_to_rollback,
+                         "version": server_b.registry.version})
+
+            # --------------------------------------------------------
+            # 3. Dropped publish heals by retry; the validated publish
+            #    warms the cache with the hottest signatures.
+            for q, est, tru in zip(wl.queries, ests, wl.cardinalities):
+                server_b.observe(q, tru, estimate=float(est))
+            server_b.refine()                  # drop fault -> retry -> v4
+            fired = [f["hook"] for f in plan_b.fired_log]
+            checks["publish_drop_healed"] = \
+                fired.count("publish.snapshot") == 1 \
+                and server_b.registry.version == 4
+            server_b.modelops.join_warm(timeout=30.0)
+            hot = server_b.service.hot_queries(1)
+            req = server_b.submit(hot[0]) if hot else None
+            if req is not None:
+                req.result(timeout=60.0)
+            checks["warm_primes_cache"] = \
+                server_b.modelops.warmed > 0 and req is not None \
+                and req.from_cache \
+                and req.version == server_b.registry.version
+            checks["zero_untyped_singleproc"] = \
+                server_a.service.failures == 0 \
+                and server_b.service.failures == 0
+            detail["tripwire"] = server_b.modelops.stats()
+        rows.append({"fault": "drop-publish", "action": "retry+warm",
+                     "observations": server_b.modelops.warmed,
+                     "version": server_b.registry.version})
+
+    if include_cluster:
+        if not HAVE_SHARED_MEMORY:  # pragma: no cover - platform gate
+            checks["cluster_skipped_no_shared_memory"] = True
+        else:
+            datasets = tuple(profile.scale_datasets)
+            estimators: dict[str, UAE] = {}
+            pools: dict[str, list] = {}
+            n_each = max(16, profile.scale_stream_queries // len(datasets))
+            for i, name in enumerate(datasets):
+                table = load(name, rows=profile.dataset_rows(name))
+                est = UAE(table, seed=i, **uae_kwargs)
+                est.fit(epochs=max(1, profile.epochs // 3), mode="data")
+                estimators[name] = est
+                pools[name] = list(
+                    generate_inworkload(table, n_each, rng).queries)
+
+            plan_c = ChaosPlan(seed=29)
+            # 2nd batch of worker w0's first incarnation dies; the
+            # restarted incarnation runs healthy.  w1's first batch is
+            # merely slow (latency fault): it must answer, not crash.
+            plan_c.inject("worker.batch", "kill", at=2,
+                          where={"worker": "w0", "incarnation": 0})
+            plan_c.inject("worker.batch", "sleep", at=1,
+                          where={"worker": "w1"},
+                          params={"seconds": 0.05})
+            cluster = ClusterEstimateService(workers=max(2, workers),
+                                             queue_depth=4, seed=7,
+                                             chaos=plan_c)
+            for name in datasets:
+                cluster.add_table(estimators[name])
+            untyped = 0
+            with cluster:
+                supervisor = cluster.supervise(
+                    poll_interval=0.02, backoff_base_s=0.02,
+                    backoff_max_s=0.5, max_restarts=3, seed=7)
+                slices = {name: [q for q in pools[name][:_PROBES]]
+                          for name in datasets}
+                # On profiles with more namespaces than workers w0 owns
+                # several, so the kill can fire while these references
+                # are computed; retry through the healing window (the
+                # restarted worker answers bit-identically, so the
+                # reference stays valid either way).
+                refs = {}
+                ref_deadline = time.perf_counter() + 60.0
+                for name in datasets:
+                    while True:
+                        try:
+                            refs[name] = cluster.estimate_batch(
+                                slices[name], seed=_SEED)
+                            break
+                        except (WorkerUnavailableError, LoadShedError):
+                            if time.perf_counter() > ref_deadline:
+                                raise
+                            time.sleep(0.05)
+                # Drive mixed waves; the kill fires on w0's 2nd batch.
+                # Typed unavailability is retried (that is the healing
+                # window); anything untyped is a hard failure.
+                mixed = [q for pair in zip(*pools.values()) for q in pair]
+                deadline = time.perf_counter() + 60.0
+                lo, waves = 0, 0
+                while lo < len(mixed) and time.perf_counter() < deadline:
+                    try:
+                        cluster.estimate_batch(mixed[lo:lo + 8])
+                        lo += 8
+                        waves += 1
+                    except (WorkerUnavailableError, LoadShedError):
+                        time.sleep(0.05)
+                    except Exception:   # noqa: BLE001 - counted + gated
+                        untyped += 1
+                        lo += 8
+                t_restart = time.perf_counter()
+                while time.perf_counter() < deadline \
+                        and not supervisor.restarts:
+                    time.sleep(0.02)
+                restart_s = time.perf_counter() - t_restart
+                checks["kill_fired"] = any(
+                    f["hook"] == "worker.batch" and f["action"] == "kill"
+                    for f in plan_c.fired_log) \
+                    or cluster.stats()["workers"].get("w0", {}) \
+                        .get("incarnation", 0) >= 1
+                checks["worker_restarted"] = len(supervisor.restarts) >= 1
+                checks["restart_within_window"] = \
+                    bool(supervisor.restarts) and restart_s < 30.0
+                post = {}
+                for name in datasets:
+                    for _ in range(40):     # restarted worker settles
+                        try:
+                            post[name] = cluster.estimate_batch(
+                                slices[name], seed=_SEED)
+                            break
+                        except (WorkerUnavailableError, LoadShedError):
+                            time.sleep(0.05)
+                checks["restart_bit_identical"] = all(
+                    name in post and bool(
+                        np.array_equal(post[name], refs[name]))
+                    for name in datasets)
+                stats = cluster.stats()
+                checks["cluster_zero_untyped"] = untyped == 0 \
+                    and stats["failures"] == 0
+                detail["cluster"] = {
+                    "restarts": supervisor.stats()["restarts"],
+                    "restart_wait_s": restart_s,
+                    "waves": waves,
+                    "incarnations": {
+                        wid: w["incarnation"]
+                        for wid, w in stats["workers"].items()},
+                    "fired": plan_c.summary()["fired"],
+                }
+            rows.append({"fault": "kill-worker+slow-worker",
+                         "action": "restart",
+                         "observations": len(mixed),
+                         "version": len(supervisor.restarts)})
+
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "profile": profile.name,
+        "checks": checks,
+        "detail": detail,
+        "rows": rows,
+    }
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed and raise_on_failure:
+        raise RuntimeError(
+            f"chaos healing invariants violated: {failed} "
+            f"[detail {detail}]")
+    return {"title": "Self-healing under deterministic chaos: shadow "
+                     "rejects, tripwire rollback, worker supervision "
+                     f"(profile={profile.name})",
+            "columns": ["fault", "action", "observations", "version"],
+            **payload}
+
+
 def run_serving(profile: Profile | None = None,
                 write_artifact: bool = True,
                 include_multi_table: bool = True,
                 include_scale_out: bool = True,
-                include_open_loop: bool = True) -> dict:
+                include_open_loop: bool = True,
+                include_chaos: bool = True) -> dict:
     """The serving scenario; returns the usual experiment dict.
 
     After the single-table loop, the multi-table front-door scenario
@@ -491,10 +802,12 @@ def run_serving(profile: Profile | None = None,
     an ``mt_`` prefix.  The scale-out cluster scenario
     (:func:`run_scale_out`) follows under ``"scale_out"`` with an
     ``so_`` prefix (skipped automatically where
-    ``multiprocessing.shared_memory`` is unavailable), and the
+    ``multiprocessing.shared_memory`` is unavailable), the
     open-loop HTTP load scenario
     (:func:`~repro.bench.load_bench.run_open_loop`) under
-    ``"open_loop"`` with its own ``ol_``-prefixed checks.
+    ``"open_loop"`` with its own ``ol_``-prefixed checks, and the
+    self-healing chaos scenario (:func:`run_chaos`) under ``"chaos"``
+    with a ``ch_`` prefix.
     """
     profile = profile or current_profile()
     rng = np.random.default_rng(2024)
@@ -718,6 +1031,15 @@ def run_serving(profile: Profile | None = None,
                      "p50_ms": row["p50_ms"], "p99_ms": row["p99_ms"]}
                     for row in open_loop.get("rows", []))
 
+    chaos = None
+    if include_chaos:
+        chaos = run_chaos(profile, raise_on_failure=False)
+        checks.update({f"ch_{name}": ok
+                       for name, ok in chaos["checks"].items()})
+        rows.extend({"phase": f"ch:{row['fault']}",
+                     "queries": row["observations"]}
+                    for row in chaos.get("rows", []))
+
     infer_reference = None
     if os.path.exists(BENCH_INFER_PATH):
         try:
@@ -763,6 +1085,9 @@ def run_serving(profile: Profile | None = None,
     if open_loop is not None:
         payload["open_loop"] = {k: v for k, v in open_loop.items()
                                 if k not in ("title", "columns")}
+    if chaos is not None:
+        payload["chaos"] = {k: v for k, v in chaos.items()
+                            if k not in ("title", "columns")}
     if write_artifact:
         try:
             with open(BENCH_SERVE_PATH, "w") as fh:

@@ -1,0 +1,217 @@
+"""Deterministic chaos injection for the serving stack.
+
+Self-healing claims are only as good as the failures they were tested
+against, and ad-hoc fault injection (a `kill -9` in a shell, a sleep
+patched into a worker) is unrepeatable.  This module makes every fault a
+*seeded, named, countable* event: a :class:`ChaosPlan` is built once,
+threaded through the layers under test (server, cluster, workers), and
+consulted at well-known **hook points**.  The same plan with the same
+seed fires the same faults at the same occurrences — in a unit test, in
+the ``chaos`` bench scenario, and in the CI smoke — so a healing bug
+reproduces instead of flaking.
+
+Hook points (the strings the serving stack passes to :meth:`ChaosPlan.fires`):
+
+=====================  ======================================================
+hook                   fired where / typical actions
+=====================  ======================================================
+``refine.weights``     :meth:`UAEServer._refine_now`, after ingestion and
+                       before shadow validation — ``poison`` perturbs the
+                       trainer's weights (a corrupted refinement candidate).
+``publish.snapshot``   :meth:`UAEServer._refine_now`, at publish time —
+                       ``drop`` makes one publish attempt vanish (the server
+                       retries and records the heal).
+``feedback.record``    :meth:`UAEServer.observe` — ``corrupt`` scales the
+                       observed true cardinality (poisoned feedback stream).
+``worker.batch``       cluster :func:`_worker_main`, on receipt of a batch
+                       message — ``kill`` SIGKILLs the worker process,
+                       ``sleep`` delays it (slow-worker latency).
+=====================  ======================================================
+
+A fault fires on specific *occurrences* of its hook (``at=3`` — the 3rd
+time that hook is evaluated with a matching context; ``every=5`` — every
+5th; ``prob=0.1`` — a per-occurrence seeded coin), optionally restricted
+by a ``where`` context match (``where={"worker": "w1"}``) and capped by
+``count``.  Occurrence counters are per-plan-copy: a plan forked into a
+worker process counts that worker's occurrences from zero, so worker
+faults are deterministic regardless of what the parent did.  Restarted
+workers get an incremented ``incarnation`` in their hook context —
+``where={"incarnation": 0}`` expresses "crash once, then stay healthy",
+while a fault with no incarnation guard expresses a crash loop (what the
+supervisor's circuit breaker is tested against).
+
+The plan is picklable (it rides fork/spawn into cluster workers) and its
+per-hook randomness derives from ``zlib.crc32`` of the hook name — never
+from the salted builtin ``hash()`` — so firing is stable across
+processes and interpreter runs.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Canonical hook-point names (call sites use the literals; these are the
+#: documented, importable spellings).
+HOOK_REFINE_WEIGHTS = "refine.weights"
+HOOK_PUBLISH_SNAPSHOT = "publish.snapshot"
+HOOK_FEEDBACK_RECORD = "feedback.record"
+HOOK_WORKER_BATCH = "worker.batch"
+
+HOOKS = (HOOK_REFINE_WEIGHTS, HOOK_PUBLISH_SNAPSHOT,
+         HOOK_FEEDBACK_RECORD, HOOK_WORKER_BATCH)
+
+
+@dataclass
+class Fault:
+    """One scheduled fault at a hook point.
+
+    Exactly when it fires is the intersection of the occurrence selectors
+    (``at`` / ``every`` / ``prob``; ``at`` counts matching occurrences
+    from 1) and the ``where`` context filter; ``count`` caps total fires.
+    """
+
+    hook: str
+    action: str = "fail"
+    at: int | None = None            # fire on the Nth matching occurrence
+    every: int | None = None         # fire on every Nth matching occurrence
+    prob: float | None = None        # seeded per-occurrence coin
+    count: int | None = 1            # max fires (None = unlimited)
+    where: dict = field(default_factory=dict)
+    params: dict = field(default_factory=dict)
+    fired: int = 0                   # fires so far (mutated by the plan)
+
+    def __post_init__(self):
+        if self.hook not in HOOKS:
+            raise ValueError(f"unknown hook {self.hook!r} (have {HOOKS})")
+        if self.at is None and self.every is None and self.prob is None:
+            self.at = 1              # default: the first matching occurrence
+        if self.at is not None and self.at < 1:
+            raise ValueError("at counts occurrences from 1")
+        if self.every is not None and self.every < 1:
+            raise ValueError("every must be >= 1")
+        if self.prob is not None and not (0.0 <= self.prob <= 1.0):
+            raise ValueError("prob must be in [0, 1]")
+
+    def matches(self, ctx: dict) -> bool:
+        return all(ctx.get(k) == v for k, v in self.where.items())
+
+
+class ChaosPlan:
+    """A seeded set of faults, consulted at hook points.
+
+    Thread-safe in-process; picklable across processes (each copy counts
+    its own occurrences — see the module docstring for why that is the
+    deterministic choice for worker faults).
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self.faults: list[Fault] = []
+        self.fired_log: list[dict] = []
+        self._occurrences: dict[str, int] = {}
+        self._rngs: dict[str, random.Random] = {}
+        self._lock = threading.Lock()
+
+    # -- construction --------------------------------------------------
+    def inject(self, hook: str, action: str = "fail", **kw) -> Fault:
+        """Schedule a fault; returns it (its ``fired`` counter is live)."""
+        fault = Fault(hook, action, **kw)
+        with self._lock:
+            self.faults.append(fault)
+        return fault
+
+    # -- evaluation ----------------------------------------------------
+    def _rng_for(self, hook: str) -> random.Random:
+        rng = self._rngs.get(hook)
+        if rng is None:
+            # crc32, not hash(): builtin str hashing is salted per
+            # process, which would unseed cross-process determinism.
+            rng = random.Random((self.seed << 32) ^ zlib.crc32(hook.encode()))
+            self._rngs[hook] = rng
+        return rng
+
+    def fires(self, hook: str, **ctx) -> Fault | None:
+        """Evaluate one occurrence of ``hook`` under ``ctx``; returns the
+        fault that fires (first match wins) or ``None``.
+
+        Every call advances the hook's occurrence counter for matching
+        faults, whether or not anything fires — selectors index real
+        traffic, not prior fires.
+        """
+        with self._lock:
+            winner: Fault | None = None
+            for fault in self.faults:
+                if fault.hook != hook or not fault.matches(ctx):
+                    continue
+                key = f"{hook}#{id(fault)}"
+                n = self._occurrences.get(key, 0) + 1
+                self._occurrences[key] = n
+                if winner is not None:
+                    continue             # still count occurrences
+                if fault.count is not None and fault.fired >= fault.count:
+                    continue
+                hit = ((fault.at is not None and n == fault.at)
+                       or (fault.every is not None and n % fault.every == 0)
+                       or (fault.prob is not None
+                           and self._rng_for(hook).random() < fault.prob))
+                if hit:
+                    fault.fired += 1
+                    winner = fault
+                    self.fired_log.append(
+                        {"hook": hook, "action": fault.action,
+                         "occurrence": n, **ctx})
+            return winner
+
+    def rng(self, hook: str) -> np.random.Generator:
+        """A numpy generator seeded from (plan seed, hook) — for fault
+        payloads (e.g. poison noise) that must be reproducible."""
+        return np.random.default_rng(
+            [self.seed, zlib.crc32(hook.encode())])
+
+    # -- pickling (locks and lazily-built RNGs don't cross processes) --
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        state.pop("_rngs", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._rngs = {}
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {"seed": self.seed,
+                    "faults": [{"hook": f.hook, "action": f.action,
+                                "fired": f.fired} for f in self.faults],
+                    "fired": list(self.fired_log)}
+
+
+# ----------------------------------------------------------------------
+# Fault payload helpers (shared by server hooks, tests, and the bench)
+# ----------------------------------------------------------------------
+def poison_state(state: dict, rng: np.random.Generator,
+                 magnitude: float = 25.0) -> dict:
+    """A corrupted copy of a weight state dict: large seeded noise on
+    every array — the canonical "refinement gone wrong" payload.  The
+    magnitude is far outside any healthy update, so a validator that
+    misses it is broken, not unlucky."""
+    out = {}
+    for name, arr in state.items():
+        arr = np.asarray(arr)
+        out[name] = arr + magnitude * rng.standard_normal(
+            arr.shape).astype(arr.dtype, copy=False)
+    return out
+
+
+def corrupt_truth(true_cardinality: float, fault: Fault) -> float:
+    """A corrupted feedback label: the observed truth scaled by the
+    fault's ``factor`` param (default 1000x — adversarially wrong)."""
+    factor = float(fault.params.get("factor", 1000.0))
+    return max(1.0, float(true_cardinality) * factor)

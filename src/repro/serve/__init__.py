@@ -27,6 +27,14 @@ Five cooperating pieces (see the README's "Serving" section):
   (:mod:`repro.serve.placement`) and publishing hot-swaps zero-copy
   through per-namespace ``shared_memory`` segments
   (:mod:`repro.serve.snapshot`);
+* the self-healing model-ops layer (:mod:`repro.serve.modelops` +
+  :mod:`repro.serve.supervisor`): :class:`ModelOps` shadow-validates
+  every refinement candidate on a held-out probe set before publish,
+  arms a rolling q-error tripwire that auto-rolls-back a regressing
+  swap, and re-warms the result cache after each publish;
+  :class:`WorkerSupervisor` restarts dead cluster workers with
+  exponential backoff (evicting crash-loopers); both are exercised by
+  the deterministic chaos harness (:mod:`repro.chaos`);
 * the asyncio network front door (:mod:`repro.serve.net`):
   :class:`AsyncEstimateService` makes any front awaitable (deadline
   propagation, cancellation-as-abandonment) and :class:`HTTPFrontDoor`
@@ -47,9 +55,12 @@ loop (pass several ``--datasets`` for the multi-table front door, or
 writes ``BENCH_serve.json``.
 """
 
+from ..chaos import ChaosPlan, Fault
 from .cache import ResultCache
 from .cluster import ClusterEstimateService, ClusterRequest, LoadShedError
 from .feedback import FeedbackCollector
+from .modelops import (ModelOps, ModelOpsConfig, QErrorTripwire,
+                       ShadowValidator)
 from .net import (ERROR_STATUS, AsyncEstimateService, AsyncHTTPClient,
                   HTTPFrontDoor, serve_http, status_for)
 from .placement import HashRing, WorkerUnavailableError
@@ -61,6 +72,7 @@ from .server import UAEServer
 from .service import EstimateRequest, EstimateService, RequestCancelledError
 from .snapshot import (HAVE_SHARED_MEMORY, SharedSnapshot, SnapshotCodec,
                        SnapshotTornError)
+from .supervisor import WorkerSupervisor
 
 __all__ = ["ModelRegistry", "ModelVersion", "EstimateService",
            "EstimateRequest", "ResultCache", "FeedbackCollector",
@@ -73,4 +85,6 @@ __all__ = ["ModelRegistry", "ModelVersion", "EstimateService",
            "SnapshotTornError", "HAVE_SHARED_MEMORY",
            "RequestCancelledError", "AsyncEstimateService",
            "HTTPFrontDoor", "AsyncHTTPClient", "ERROR_STATUS",
-           "status_for", "serve_http"]
+           "status_for", "serve_http", "ModelOps", "ModelOpsConfig",
+           "ShadowValidator", "QErrorTripwire", "WorkerSupervisor",
+           "ChaosPlan", "Fault"]

@@ -21,6 +21,16 @@ worker processes behind a ``ClusterEstimateService``, checking
 bit-parity with single-process serving, zero-copy swap propagation,
 and typed load shedding under overload.
 
+With ``--chaos FAULT``, the deterministic chaos-healing scenario runs
+instead (see :func:`repro.bench.serve_bench.run_chaos`): a seeded fault
+plan injects FAULT into the serving stack and the run exits non-zero
+unless the stack *heals* — shadow validation rejects poisoned
+refinements, the q-error tripwire auto-rolls-back a bad publish, the
+worker supervisor restarts a SIGKILLed worker bit-identically.
+``--workers N`` sizes the cluster for the worker faults;
+``python -m repro.serve --workers 2 --chaos kill-worker --smoke`` is
+the CI chaos smoke step.
+
 With ``--http PORT``, the network front door runs instead: train the
 profile's DMV model once, then serve the JSON-over-HTTP protocol
 (``POST /estimate``, ``POST /estimate_batch``, ``POST /feedback``,
@@ -41,8 +51,18 @@ from dataclasses import replace
 
 from ..bench.profiles import PROFILES
 from ..bench.reporting import format_table
-from ..bench.serve_bench import run_multi_table, run_scale_out, run_serving
+from ..bench.serve_bench import (run_chaos, run_multi_table, run_scale_out,
+                                 run_serving)
 from ..data.datasets import DATASETS
+
+#: --chaos FAULT -> which half of the chaos scenario exercises it.
+CHAOS_FAULTS = {
+    "kill-worker": "cluster",
+    "slow-worker": "cluster",
+    "poison-refinement": "single",
+    "drop-publish": "single",
+    "corrupt-feedback": "single",
+}
 
 
 # ----------------------------------------------------------------------
@@ -296,10 +316,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="serve the JSON-over-HTTP front door on PORT "
                              "(0 = ephemeral) instead of running a "
                              "scenario; Ctrl-C stops")
+    parser.add_argument("--chaos", choices=sorted(CHAOS_FAULTS),
+                        metavar="FAULT", default=None,
+                        help="run the deterministic chaos-healing "
+                             "scenario exercising FAULT (one of "
+                             f"{', '.join(sorted(CHAOS_FAULTS))}); "
+                             "cluster faults use --workers processes "
+                             "(default 2); exits non-zero unless every "
+                             "healing invariant holds")
     parser.add_argument("--smoke", action="store_true",
                         help="with --http: bind an ephemeral port, drive "
                              "every endpoint and typed error path once, "
-                             "exit non-zero on any protocol violation")
+                             "exit non-zero on any protocol violation; "
+                             "with --chaos: alias for the gated chaos "
+                             "run (the CI chaos smoke step)")
     parser.add_argument("--no-artifact", action="store_true",
                         help="skip writing BENCH_serve.json "
                              "(--datasets runs never write it)")
@@ -309,12 +339,36 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
-    if args.smoke and args.http is None:
-        parser.error("--smoke requires --http")
+    if args.smoke and args.http is None and args.chaos is None:
+        parser.error("--smoke requires --http or --chaos")
     if args.http is not None:
-        if args.datasets or args.workers is not None:
-            parser.error("--http is exclusive of --datasets/--workers")
+        if args.datasets or args.workers is not None or args.chaos:
+            parser.error("--http is exclusive of "
+                         "--datasets/--workers/--chaos")
         return _run_http(PROFILES[args.profile], args.http, args.smoke)
+    if args.chaos is not None:
+        if args.datasets:
+            parser.error("--chaos is exclusive of --datasets")
+        cluster_fault = CHAOS_FAULTS[args.chaos] == "cluster"
+        try:
+            result = run_chaos(
+                PROFILES[args.profile],
+                include_single=not cluster_fault,
+                include_cluster=cluster_fault,
+                workers=args.workers if args.workers is not None else 2)
+        except RuntimeError as exc:
+            print(f"FAILED: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps({k: v for k, v in result.items()
+                              if k not in ("rows", "columns", "title")},
+                             indent=2, default=str))
+        print(format_table(result["rows"], result["columns"],
+                           title=result["title"]))
+        print("checks: "
+              + ("all passed" if all(result["checks"].values())
+                 else str(result["checks"])))
+        return 0
     try:
         if args.workers is not None:
             profile = PROFILES[args.profile]

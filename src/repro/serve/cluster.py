@@ -51,6 +51,7 @@ import itertools
 import multiprocessing
 import os
 import queue as queue_mod
+import signal
 import threading
 import time
 from collections import OrderedDict
@@ -92,10 +93,19 @@ def _limit_blas_threads(n: int = 1) -> None:
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
-def _worker_main(worker_id: str, request_q, response_q) -> None:
+def _worker_main(worker_id: str, request_q, response_q,
+                 chaos=None, incarnation: int = 0) -> None:
     """One shared-nothing worker: adopt namespaces, serve batches,
     re-read snapshot segments on publish.  Runs until a ``stop`` message
-    (or the process is killed — the balancer contains the crash)."""
+    (or the process is killed — the balancer contains the crash).
+
+    ``chaos`` is an optional :class:`~repro.chaos.ChaosPlan` copy; this
+    worker evaluates the ``worker.batch`` hook on every batch message
+    with ``worker``/``namespace``/``incarnation`` context (``kill``
+    SIGKILLs the process, ``sleep`` injects latency).  ``incarnation``
+    counts restarts of this worker id — 0 for the original fork — so a
+    fault with ``where={"incarnation": 0}`` crashes once and lets the
+    restarted worker run healthy."""
     _limit_blas_threads(1)
     from ..core.uae import UAE             # deferred: cheap worker spawn
     from ..obs import MetricsRegistry
@@ -168,6 +178,19 @@ def _worker_main(worker_id: str, request_q, response_q) -> None:
                         (version, time.perf_counter() - t0))
             elif kind == "batch":
                 namespace, queries, seed, deadline, sent_at = msg[2:]
+                if chaos is not None:
+                    fault = chaos.fires("worker.batch",
+                                        worker=worker_id,
+                                        namespace=namespace,
+                                        incarnation=incarnation)
+                    if fault is not None and fault.action == "kill":
+                        # Die before any respond(): a SIGKILL mid-put
+                        # could wedge the shared response queue for
+                        # the surviving workers.
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    if fault is not None and fault.action == "sleep":
+                        time.sleep(float(
+                            fault.params.get("seconds", 0.05)))
                 recv_at = time.perf_counter()
                 if sent_at is not None:
                     # perf_counter is CLOCK_MONOTONIC on Linux — shared
@@ -181,9 +204,14 @@ def _worker_main(worker_id: str, request_q, response_q) -> None:
                     continue
                 estimator = models.get(namespace)
                 if estimator is None:
-                    respond(req_id, "err", KeyError(
-                        f"namespace {namespace!r} not adopted by "
-                        f"worker {worker_id}"))
+                    # A batch can race a restart's adoption messages
+                    # into the inbox of a freshly forked worker: that
+                    # is transient unavailability (the adopt is right
+                    # behind it), so answer typed-retryable rather
+                    # than with a hard error.
+                    respond(req_id, "err", WorkerUnavailableError(
+                        f"namespace {namespace!r} not yet adopted by "
+                        f"worker {worker_id}; retry"))
                     continue
                 t0 = time.perf_counter()
                 constraints = [
@@ -370,7 +398,7 @@ class ClusterEstimateService:
                  vnodes: int = 64, balance: float | None = 1.0,
                  seed: int = 0, start_method: str | None = None,
                  request_timeout: float = 120.0, name: str = "cluster",
-                 metrics=None, events=None):
+                 metrics=None, events=None, chaos=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if queue_depth < 1:
@@ -400,6 +428,9 @@ class ClusterEstimateService:
         self._lock = threading.Lock()
         self._dead: list[str] = []
         self._running = False
+        self.chaos = chaos                 # optional ChaosPlan, forked
+        self._incarnations: dict[str, int] = {}
+        self._supervisor = None
         from ..obs import EVENTS, MetricsRegistry
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.events = events if events is not None else EVENTS
@@ -516,7 +547,8 @@ class ClusterEstimateService:
             request_q = self._ctx.Queue()
             process = self._ctx.Process(
                 target=_worker_main,
-                args=(worker_id, request_q, self._response_q),
+                args=(worker_id, request_q, self._response_q,
+                      self.chaos, 0),
                 name=f"{self.name}-{worker_id}", daemon=True)
             process.start()
             self._handles[worker_id] = _WorkerHandle(
@@ -544,6 +576,11 @@ class ClusterEstimateService:
         if not self._running and not self._handles:
             return
         self._running = False
+        if self._supervisor is not None:
+            # Stop supervision first: a restart racing teardown would
+            # re-fork a worker we are about to kill.
+            self._supervisor.stop()
+            self._supervisor = None
         for handle in self._handles.values():
             try:
                 handle.request_q.put((0, "stop"))
@@ -582,6 +619,10 @@ class ClusterEstimateService:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
 
     # ------------------------------------------------------------------
     # Routing
@@ -736,6 +777,137 @@ class ClusterEstimateService:
                          moved=sorted(moved))
         return {"removed": sorted(dead), "moved": sorted(moved)}
 
+    def dead_workers(self) -> list[str]:
+        """Quarantine and return the currently-dead workers.
+
+        Any handle whose process has exited is marked dead (removed
+        from the ring, its in-flight requests failed typed) and the
+        accumulated dead list is returned *without clearing it* —
+        :meth:`restart_worker` and :meth:`recover` consume entries.
+        This is the supervisor's detection probe."""
+        for wid in [wid for wid, handle in list(self._handles.items())
+                    if not handle.alive()]:
+            self._mark_dead(wid)
+        return list(self._dead)
+
+    def fail_worker(self, worker_id: str) -> None:
+        """Administratively take a worker down (supervisor eviction):
+        terminate the process if still alive, then quarantine it
+        exactly like a crash.  Follow with :meth:`recover` to re-place
+        its namespaces on the survivors."""
+        handle = self._handles.get(worker_id)
+        if handle is not None:
+            if handle.alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            self._mark_dead(worker_id)
+
+    def restart_worker(self, worker_id: str) -> dict:
+        """Re-fork a dead worker under its original id.
+
+        Consistent hashing is deterministic, so re-adding the id
+        restores the pre-crash placement; the namespaces that move back
+        re-adopt from their retained shared-memory snapshot segments at
+        their current versions — the restarted worker serves
+        bit-identical estimates to its previous incarnation.  The
+        worker's ``incarnation`` counter is bumped and passed into the
+        new process (chaos faults key on it to express crash-once
+        versus crash-loop).
+
+        The restart is all-or-nothing: if any re-adoption fails the
+        fresh process is killed and quarantined back onto the dead
+        list (a half-adopted worker must never serve), so the
+        supervisor's next pass retries with backoff or evicts."""
+        if not self._running:
+            raise RuntimeError("restart_worker() needs a running "
+                               "cluster")
+        handle = self._handles.get(worker_id)
+        if handle is not None:
+            if handle.alive():
+                return {"restarted": False, "worker": worker_id,
+                        "reason": "alive"}
+            self._mark_dead(worker_id)
+        if worker_id not in self._dead:
+            raise KeyError(f"unknown dead worker {worker_id!r} "
+                           f"(dead: {self._dead})")
+        self._dead.remove(worker_id)
+        incarnation = self._incarnations.get(worker_id, 0) + 1
+        self._incarnations[worker_id] = incarnation
+        request_q = self._ctx.Queue()
+        # Fork with the collector parked: forking while a parent
+        # thread sits inside the response queue's internal locks can
+        # deadlock the child (same discipline as start(), where the
+        # collector starts strictly after every fork).
+        self._pause_collector()
+        try:
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, request_q, self._response_q,
+                      self.chaos, incarnation),
+                name=f"{self.name}-{worker_id}", daemon=True)
+            process.start()
+        finally:
+            self._resume_collector()
+        self._handles[worker_id] = _WorkerHandle(
+            worker_id, process, request_q, self.queue_depth)
+        self._ring.add(worker_id)
+        new_assignment = self._ring.assign(self._specs,
+                                           balance=self.balance)
+        # The fresh process has no state: every namespace it now owns
+        # must be (re-)adopted, even when the deterministic ring hands
+        # it exactly its pre-crash placement (assignment unchanged).
+        moved = [ns for ns, wid in new_assignment.items()
+                 if wid == worker_id or self._assignment.get(ns) != wid]
+        self._assignment = new_assignment
+        try:
+            acks = [(ns, self._adopt_async(ns)) for ns in moved]
+            for ns, request in acks:
+                request.result(timeout=self.request_timeout)
+                self.events.emit("swap_adopt", namespace=ns,
+                                 worker=self._assignment.get(ns),
+                                 version=self._versions.get(ns))
+        except BaseException:
+            # Adoption failed (snapshot read error, wedged fork,
+            # timeout): a half-adopted worker must not stay published
+            # as healthy — quarantine it so the next supervision pass
+            # retries the restart with backoff or evicts.  _mark_dead
+            # fails any request that raced into its inbox typed and
+            # puts the id back on the dead list.
+            fresh = self._handles.get(worker_id)
+            if fresh is not None and fresh.alive():
+                fresh.process.kill()
+                fresh.process.join(timeout=5.0)
+            self._mark_dead(worker_id)
+            raise
+        self.events.emit("worker_restart", worker=worker_id,
+                         incarnation=incarnation, moved=sorted(moved))
+        return {"restarted": True, "worker": worker_id,
+                "incarnation": incarnation, "moved": sorted(moved)}
+
+    def supervise(self, **kwargs):
+        """Attach and start a
+        :class:`~repro.serve.supervisor.WorkerSupervisor` on this
+        cluster (kwargs forwarded to its constructor); idempotent while
+        one is running.  ``stop()`` stops it first."""
+        from .supervisor import WorkerSupervisor
+        if self._supervisor is not None and self._supervisor.running:
+            return self._supervisor
+        self._supervisor = WorkerSupervisor(self, **kwargs).start()
+        return self._supervisor
+
+    def _pause_collector(self) -> None:
+        self._collector_stop.set()
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+            self._collector = None
+
+    def _resume_collector(self) -> None:
+        self._collector_stop.clear()
+        self._collector = threading.Thread(
+            target=self._collect_loop, name=f"{self.name}-collector",
+            daemon=True)
+        self._collector.start()
+
     def ping(self) -> dict:
         """Round-trip worker stats (liveness probe)."""
         out = {}
@@ -777,6 +949,15 @@ class ClusterEstimateService:
         req_id = next(self._req_ids)
         with self._lock:
             self._pending[req_id] = (request, handle, False)
+        if self._handles.get(handle.worker_id) is not handle:
+            # Same lost race as in _dispatch: the owner died and its
+            # orphan sweep already ran; fail typed rather than hang.
+            with self._lock:
+                self._pending.pop(req_id, None)
+            request._fail(WorkerUnavailableError(
+                f"worker {handle.worker_id} died before the control "
+                "message was dispatched"))
+            return request
         try:
             handle.request_q.put((req_id, kind, *payload))
         except (ValueError, OSError) as exc:
@@ -833,6 +1014,23 @@ class ClusterEstimateService:
             self._pending[req_id] = (request, handle, True)
             handle.in_flight += 1
             handle.dispatched += 1
+        if self._handles.get(handle.worker_id) is not handle:
+            # Lost race with _mark_dead: its orphan sweep ran between
+            # the alive() check above and this registration, so nothing
+            # will ever settle the entry — fail it here, typed, instead
+            # of letting the caller wait out the full request timeout.
+            with self._lock:
+                entry = self._pending.pop(req_id, None)
+                if entry is not None:
+                    handle.in_flight -= 1
+            if entry is not None:
+                handle.slots.release()
+                self._c_unavail.inc(request.count)
+                request._fail(WorkerUnavailableError(
+                    f"worker {handle.worker_id!r} died while "
+                    f"dispatching to namespace {namespace!r}; call "
+                    "recover()"))
+            return request
         request.dispatched_at = time.perf_counter()
         self._h_stage.labels(namespace=namespace, stage="slot_wait") \
             .observe(request.dispatched_at - request.submitted_at)
@@ -920,8 +1118,14 @@ class ClusterEstimateService:
                 error = payload if isinstance(payload, BaseException) \
                     else RuntimeError(str(payload))
                 if request._fail(error) and is_batch:
-                    self._f_failures.labels(
-                        error=type(error).__name__).inc(request.count)
+                    if isinstance(error, WorkerUnavailableError):
+                        # Worker-reported transient unavailability
+                        # (e.g. not-yet-adopted namespace during a
+                        # restart) is retryable, not a failure.
+                        self._c_unavail.inc(request.count)
+                    else:
+                        self._f_failures.labels(
+                            error=type(error).__name__).inc(request.count)
 
     def _observe_stages(self, request: ClusterRequest, worker_id: str,
                         compute_s: float, worker_t0: float,
@@ -992,12 +1196,11 @@ class ClusterEstimateService:
                 "in_flight": handle.in_flight,
                 "dispatched": handle.dispatched,
                 "ewma_batch_seconds": handle.ewma_seconds,
-                # Deprecated: duplicate of ewma_batch_seconds in ms.
-                # Kept one release for external readers; see README.
-                "ewma_batch_ms": None if handle.ewma_seconds is None
-                else handle.ewma_seconds * 1e3,
+                "incarnation": self._incarnations.get(wid, 0),
             }
         return {"workers": workers,
+                "supervisor": None if self._supervisor is None
+                else self._supervisor.stats(),
                 "assignment": dict(self._assignment),
                 "versions": dict(self._versions),
                 "served": self.served, "sheds": self.sheds,

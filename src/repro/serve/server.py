@@ -27,6 +27,7 @@ import time
 
 import numpy as np
 
+from ..chaos import ChaosPlan, corrupt_truth, poison_state
 from ..core.uae import UAE
 from ..obs import EVENTS, MetricsRegistry
 from ..workload.predicate import LabeledWorkload, Query
@@ -47,7 +48,8 @@ class UAEServer:
                  train_backend: str | None = None,
                  namespace: str = "default", pool=None,
                  expander=None, scale: float | None = None,
-                 metrics: MetricsRegistry | None = None, events=None):
+                 metrics: MetricsRegistry | None = None, events=None,
+                 chaos: ChaosPlan | None = None, modelops=None):
         # Refinement runs on the trainer's configured training backend —
         # the fused engine by default (see ``UAEConfig.train_backend``),
         # which is what keeps drift-triggered hot-swaps fresh under live
@@ -131,6 +133,22 @@ class UAEServer:
                 "Labeled feedback samples in the rolling window",
                 ("namespace",)) \
             .labels(namespace=ns).set_function(lambda: float(len(fb.monitor)))
+        # Self-healing model-ops (repro.serve.modelops): shadow-validated
+        # publishes + tripwire auto-rollback + post-swap cache warming.
+        # Pass a ModelOpsConfig (or True for defaults); the controller
+        # attaches itself as ``self.modelops``.  ``chaos`` is the seeded
+        # fault-injection plan the healing paths are tested against.
+        self.chaos = chaos
+        self.modelops = None
+        if modelops is not None and modelops is not False:
+            from .modelops import ModelOps, ModelOpsConfig
+            if isinstance(modelops, ModelOps):
+                modelops.server = self
+                self.modelops = modelops
+            else:
+                config = modelops if isinstance(modelops, ModelOpsConfig) \
+                    else None
+                ModelOps(self, config)      # attaches as self.modelops
 
     # ------------------------------------------------------------------
     # Serving
@@ -182,7 +200,18 @@ class UAEServer:
         """
         if estimate is None:
             estimate = self.estimate(query)
+        if self.chaos is not None:
+            fault = self.chaos.fires("feedback.record",
+                                     namespace=self.namespace)
+            if fault is not None and fault.action == "corrupt":
+                true_cardinality = corrupt_truth(true_cardinality, fault)
+                self.events.emit("chaos_fault", hook="feedback.record",
+                                 namespace=self.namespace,
+                                 action=fault.action)
         err = self.feedback.record(query, estimate, true_cardinality)
+        if self.modelops is not None:
+            self.modelops.on_observation(query, estimate,
+                                         true_cardinality, err)
         if self.auto_refine and self.feedback.should_refine() \
                 and not self.refining:
             self._drift_triggered()
@@ -299,8 +328,43 @@ class UAEServer:
                     self.trainer.ingest_constraints(
                         constraints, sels, epochs=epochs or self.refine_epochs)
                 sources.append("query")
-            mv = self.registry.publish(
-                self.trainer, source="+".join(sources) + "-refine")
+            if self.chaos is not None:
+                fault = self.chaos.fires("refine.weights",
+                                         namespace=self.namespace)
+                if fault is not None and fault.action == "poison":
+                    # A corrupted refinement candidate: large seeded
+                    # noise on the trainer's weights.  swap_weights bumps
+                    # parameter versions, so the poisoned candidate is
+                    # exactly what shadow validation scores.
+                    self.trainer.swap_weights(poison_state(
+                        self.trainer.model.state_dict(),
+                        self.chaos.rng("refine.weights"),
+                        magnitude=float(fault.params.get("magnitude",
+                                                         25.0))))
+                    self.events.emit("chaos_fault", hook="refine.weights",
+                                     namespace=self.namespace,
+                                     action=fault.action)
+            verdict = None
+            if self.modelops is not None:
+                verdict = self.modelops.gate()
+                if not verdict["accepted"]:
+                    # Rejected candidate: the gate already rewound the
+                    # trainer to the live snapshot's weights; nothing is
+                    # published and serving never sees the bad version.
+                    record = {"version": self.registry.version,
+                              "source": "shadow-reject",
+                              "queries": 0 if workload is None
+                              else len(workload),
+                              "rows": rows, "rejected": True,
+                              "seconds": time.perf_counter() - start}
+                    self.refinements.append(record)
+                    self._c_refine.inc()
+                    self._h_refine.observe(record["seconds"])
+                    self.events.emit("refinement_finish",
+                                     namespace=self.namespace, **record)
+                    return record
+            prev_version = self.registry.version
+            mv = self._publish_with_retry("+".join(sources) + "-refine")
             record = {"version": mv.version, "source": mv.source,
                       "queries": 0 if workload is None else len(workload),
                       "rows": rows,
@@ -314,7 +378,25 @@ class UAEServer:
                              **record)
             self.events.emit("swap_publish", namespace=self.namespace,
                              version=mv.version, source=mv.source)
+            if self.modelops is not None:
+                self.modelops.on_publish(prev_version, mv, verdict)
             return record
+
+    def _publish_with_retry(self, source: str):
+        """Publish the trainer, healing a chaos-dropped attempt: a
+        ``publish.snapshot`` ``drop`` fault makes one attempt vanish
+        (recorded as ``publish_drop``); the retry lands the swap."""
+        for _attempt in range(3):
+            if self.chaos is not None:
+                fault = self.chaos.fires("publish.snapshot",
+                                         namespace=self.namespace)
+                if fault is not None and fault.action == "drop":
+                    self.events.emit("publish_drop",
+                                     namespace=self.namespace,
+                                     source=source)
+                    continue
+            return self.registry.publish(self.trainer, source=source)
+        return self.registry.publish(self.trainer, source=source)
 
     def join_refinement(self, timeout: float | None = None) -> None:
         thread = self._refine_thread
@@ -365,4 +447,6 @@ class UAEServer:
                 "service": self.service.stats(),
                 "feedback": self.feedback.stats(),
                 "registry": self.registry.history(),
-                "refinements": list(self.refinements)}
+                "refinements": list(self.refinements),
+                "modelops": None if self.modelops is None
+                else self.modelops.stats()}

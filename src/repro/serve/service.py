@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 
 import numpy as np
 
@@ -172,6 +172,11 @@ class EstimateService:
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait_ms) / 1e3
         self._rng = np.random.default_rng(seed)
+        # Hot-signature tracker feeding post-swap cache warming
+        # (repro.serve.modelops): cache key -> [hit count, query].
+        self._hot: "OrderedDict[bytes, list]" = OrderedDict()
+        self._hot_capacity = 4096
+        self._hot_lock = threading.Lock()
         # Engine buffer pools are per-snapshot but not thread-safe; sync
         # callers and the worker serialise actual compute through this.
         self._engine_lock = threading.Lock()
@@ -318,6 +323,8 @@ class EstimateService:
         constraints = self._expand(snap, query)
         key = ResultCache.signature(constraints) \
             if self.cache is not None else None
+        if key is not None:
+            self._record_hot(key, query)
         deadline = None if deadline_ms is None \
             else time.perf_counter() + deadline_ms / 1e3
         request = EstimateRequest(query, constraints, key, deadline,
@@ -377,6 +384,7 @@ class EstimateService:
         for i, cl in enumerate(constraints):
             if use_cache and self.cache is not None:
                 keys[i] = ResultCache.signature(cl)
+                self._record_hot(keys[i], queries[i])
                 hit = self.cache.get(keys[i], snap.version)
                 if hit is not None:
                     out[i] = hit
@@ -402,6 +410,57 @@ class EstimateService:
         """
         constraints = [self._expand(snap, q) for q in queries]
         return self._compute(snap, constraints, seed)
+
+    # ------------------------------------------------------------------
+    # Hot-signature tracking + post-swap cache warming
+    # ------------------------------------------------------------------
+    def _record_hot(self, key: bytes, query: Query) -> None:
+        with self._hot_lock:
+            entry = self._hot.get(key)
+            if entry is not None:
+                entry[0] += 1
+                return
+            self._hot[key] = [1, query]
+            if len(self._hot) > self._hot_capacity:
+                # Keep the hottest half; one O(n log n) pass amortised
+                # over capacity/2 inserts.
+                keep = sorted(self._hot.items(), key=lambda kv: kv[1][0],
+                              reverse=True)[:self._hot_capacity // 2]
+                self._hot = OrderedDict(keep)
+
+    def hot_queries(self, n: int) -> list[Query]:
+        """The ``n`` most-requested distinct queries (by cache-key hit
+        count) — the replay set for post-swap cache warming."""
+        with self._hot_lock:
+            ranked = sorted(self._hot.values(), key=lambda e: e[0],
+                            reverse=True)
+        return [query for _count, query in ranked[:max(0, int(n))]]
+
+    def warm_cache(self, queries: list[Query], *, version: int | None = None,
+                   seed=0) -> int:
+        """Replay ``queries`` through the active snapshot and prime the
+        result cache with the answers; returns entries written.
+
+        Uses its own seeded stream (never the service's live ``_rng``),
+        so background warming cannot perturb foreground sampling.  With
+        ``version`` given, a swap that lands before the replay starts
+        makes this a no-op instead of warming a superseded snapshot.
+        """
+        if self.cache is None or not queries:
+            return 0
+        snap = self.registry.active()
+        if version is not None and snap.version != version:
+            return 0
+        constraints = [self._expand(snap, q) for q in queries]
+        keys = [ResultCache.signature(cl) for cl in constraints]
+        todo = [i for i, key in enumerate(keys)
+                if self.cache.get(key, snap.version) is None]
+        if not todo:
+            return 0
+        cards = self._compute(snap, [constraints[i] for i in todo], seed)
+        for j, i in enumerate(todo):
+            self.cache.put(keys[i], snap.version, float(cards[j]))
+        return len(todo)
 
     # ------------------------------------------------------------------
     # Internals

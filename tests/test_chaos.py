@@ -1,0 +1,170 @@
+"""Tests for the deterministic chaos-injection harness (repro.chaos).
+
+These are pure in-process unit tests (tier-1): the fault-matching
+machinery, occurrence counting, cross-process determinism guarantees,
+and the payload helpers.  The end-to-end self-healing scenarios that
+*consume* this harness live in tests/test_serve_supervisor.py (marked
+``chaos``) and the ``chaos`` bench scenario.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.chaos import (HOOK_FEEDBACK_RECORD, HOOK_REFINE_WEIGHTS,
+                         HOOK_WORKER_BATCH, HOOKS, ChaosPlan, Fault,
+                         corrupt_truth, poison_state)
+
+
+# ----------------------------------------------------------------------
+class TestFault:
+    def test_default_selector_is_first_occurrence(self):
+        fault = Fault(HOOK_REFINE_WEIGHTS)
+        assert fault.at == 1 and fault.every is None and fault.prob is None
+
+    def test_unknown_hook_rejected(self):
+        with pytest.raises(ValueError, match="unknown hook"):
+            Fault("no.such.hook")
+
+    def test_invalid_selectors_rejected(self):
+        with pytest.raises(ValueError):
+            Fault(HOOK_WORKER_BATCH, at=0)
+        with pytest.raises(ValueError):
+            Fault(HOOK_WORKER_BATCH, every=0)
+        with pytest.raises(ValueError):
+            Fault(HOOK_WORKER_BATCH, prob=1.5)
+
+    def test_where_matches_subset_of_context(self):
+        fault = Fault(HOOK_WORKER_BATCH, where={"worker": "w1"})
+        assert fault.matches({"worker": "w1", "namespace": "toy"})
+        assert not fault.matches({"worker": "w0"})
+        assert not fault.matches({})
+
+
+# ----------------------------------------------------------------------
+class TestChaosPlan:
+    def test_at_counts_matching_occurrences(self):
+        plan = ChaosPlan(seed=1)
+        plan.inject(HOOK_WORKER_BATCH, "kill", at=3)
+        hits = [plan.fires(HOOK_WORKER_BATCH) is not None for _ in range(5)]
+        assert hits == [False, False, True, False, False]
+
+    def test_where_filter_gates_occurrence_counting(self):
+        """Occurrences index *matching* traffic: w0's batches do not
+        advance a fault scoped to w1."""
+        plan = ChaosPlan(seed=1)
+        plan.inject(HOOK_WORKER_BATCH, "kill", at=2, where={"worker": "w1"})
+        assert plan.fires(HOOK_WORKER_BATCH, worker="w0") is None
+        assert plan.fires(HOOK_WORKER_BATCH, worker="w1") is None
+        assert plan.fires(HOOK_WORKER_BATCH, worker="w0") is None
+        fault = plan.fires(HOOK_WORKER_BATCH, worker="w1")
+        assert fault is not None and fault.action == "kill"
+
+    def test_every_with_count_cap(self):
+        plan = ChaosPlan(seed=1)
+        plan.inject(HOOK_FEEDBACK_RECORD, "corrupt", every=2, count=2)
+        fired = [plan.fires(HOOK_FEEDBACK_RECORD) is not None
+                 for _ in range(8)]
+        # Every 2nd occurrence, capped at 2 total fires.
+        assert fired == [False, True, False, True, False, False, False,
+                         False]
+
+    def test_prob_is_seed_deterministic(self):
+        def draw(seed):
+            plan = ChaosPlan(seed=seed)
+            plan.inject(HOOK_WORKER_BATCH, "sleep", prob=0.3, count=None)
+            return [plan.fires(HOOK_WORKER_BATCH) is not None
+                    for _ in range(64)]
+
+        assert draw(7) == draw(7)
+        assert draw(7) != draw(8)
+        assert any(draw(7))
+
+    def test_first_match_wins_but_losers_still_count(self):
+        """Two faults on one hook: the one that fires masks the other
+        for that occurrence, yet the other's occurrence counter still
+        advances (selectors index real traffic, not prior fires)."""
+        plan = ChaosPlan(seed=1)
+        first = plan.inject(HOOK_WORKER_BATCH, "kill", at=1)
+        second = plan.inject(HOOK_WORKER_BATCH, "sleep", at=2)
+        assert plan.fires(HOOK_WORKER_BATCH) is first
+        assert plan.fires(HOOK_WORKER_BATCH) is second
+
+    def test_pickled_copy_counts_from_zero(self):
+        """A plan forked into a worker re-counts that worker's own
+        occurrences — the parent's traffic does not leak in."""
+        plan = ChaosPlan(seed=5)
+        plan.inject(HOOK_WORKER_BATCH, "kill", at=2)
+        assert plan.fires(HOOK_WORKER_BATCH) is None   # parent occurrence 1
+        copy = pickle.loads(pickle.dumps(plan))
+        assert copy.fires(HOOK_WORKER_BATCH) is None   # copy occurrence 1
+        fault = copy.fires(HOOK_WORKER_BATCH)          # copy occurrence 2
+        assert fault is not None
+        # The copies' logs are independent.
+        assert plan.fired_log == []
+        assert len(copy.fired_log) == 1
+
+    def test_fired_log_records_context(self):
+        plan = ChaosPlan(seed=5)
+        plan.inject(HOOK_WORKER_BATCH, "kill", where={"worker": "w0"})
+        plan.fires(HOOK_WORKER_BATCH, worker="w0", namespace="toy",
+                   incarnation=0)
+        (entry,) = plan.fired_log
+        assert entry["hook"] == HOOK_WORKER_BATCH
+        assert entry["action"] == "kill"
+        assert entry["worker"] == "w0" and entry["namespace"] == "toy"
+
+    def test_payload_rng_stable_across_pickling(self):
+        """Poison noise must be identical no matter which process asks:
+        the hook rng derives from (seed, crc32), never builtin hash()."""
+        plan = ChaosPlan(seed=11)
+        copy = pickle.loads(pickle.dumps(plan))
+        a = plan.rng(HOOK_REFINE_WEIGHTS).standard_normal(8)
+        b = copy.rng(HOOK_REFINE_WEIGHTS).standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+        # ...and distinct per hook.
+        c = plan.rng(HOOK_WORKER_BATCH).standard_normal(8)
+        assert not np.array_equal(a, c)
+
+    def test_summary_shape(self):
+        plan = ChaosPlan(seed=3)
+        plan.inject(HOOK_REFINE_WEIGHTS, "poison")
+        plan.fires(HOOK_REFINE_WEIGHTS)
+        summary = plan.summary()
+        assert summary["seed"] == 3
+        assert summary["faults"] == [{"hook": HOOK_REFINE_WEIGHTS,
+                                      "action": "poison", "fired": 1}]
+        assert len(summary["fired"]) == 1
+
+    def test_hooks_are_the_documented_set(self):
+        assert set(HOOKS) == {"refine.weights", "publish.snapshot",
+                              "feedback.record", "worker.batch"}
+
+
+# ----------------------------------------------------------------------
+class TestPayloadHelpers:
+    def test_poison_state_perturbs_every_array_deterministically(self):
+        state = {"w": np.zeros((3, 2), dtype=np.float32),
+                 "b": np.ones(4, dtype=np.float64)}
+        plan = ChaosPlan(seed=11)
+        bad = poison_state(state, plan.rng(HOOK_REFINE_WEIGHTS),
+                           magnitude=25.0)
+        for name in state:
+            assert bad[name].dtype == state[name].dtype
+            assert bad[name].shape == state[name].shape
+            assert not np.allclose(bad[name], state[name])
+        # Originals untouched; same seed reproduces the same poison.
+        assert np.array_equal(state["w"], np.zeros((3, 2)))
+        again = poison_state(state, ChaosPlan(seed=11).rng(
+            HOOK_REFINE_WEIGHTS), magnitude=25.0)
+        for name in state:
+            np.testing.assert_array_equal(bad[name], again[name])
+
+    def test_corrupt_truth_scales_with_floor(self):
+        fault = Fault(HOOK_FEEDBACK_RECORD, "corrupt",
+                      params={"factor": 500.0})
+        assert corrupt_truth(10.0, fault) == 5000.0
+        assert corrupt_truth(0.0, fault) == 1.0          # floored
+        default = Fault(HOOK_FEEDBACK_RECORD, "corrupt")
+        assert corrupt_truth(2.0, default) == 2000.0     # 1000x default

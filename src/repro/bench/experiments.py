@@ -728,6 +728,14 @@ def run_serving_chaos(profile: Profile | None = None) -> dict:
     return _run(profile)
 
 
+def run_plan_quality(profile: Profile | None = None) -> dict:
+    """Optimizer-in-the-loop plan-quality scenario (writes
+    BENCH_plan.json): the DP planner's card function answered by the
+    live serving tier, scored against oracle/heuristic baselines."""
+    from .plan_bench import run_plan_quality as _run
+    return _run(profile)
+
+
 def run_training_bench(profile: Profile | None = None) -> dict:
     """Training-engine microbenchmark (writes BENCH_train.json)."""
     from .train_bench import run_training as _run
@@ -741,6 +749,7 @@ EXPERIMENTS = {
     "serving_scale": run_serving_scale,
     "serving_load": run_serving_load,
     "serving_chaos": run_serving_chaos,
+    "plans": run_plan_quality,
     "training": run_training_bench,
     "table1": capability_matrix,
     "sub_baselines": run_sub_baselines,

@@ -77,31 +77,79 @@ def _table_row_mask(schema: Schema, name: str,
     return keep
 
 
+class UnjoinableFragmentError(ValueError):
+    """The table subset admits no join closure in this schema."""
+
+
+def _filtered_key_counts(schema: Schema, query: JoinQuery, fk,
+                         minlength: int) -> np.ndarray:
+    """Per-key match counts of ``fk.child``'s filtered rows."""
+    child = schema.tables[fk.child]
+    child_keep = _table_row_mask(schema, fk.child,
+                                 query.predicates_for(fk.child))
+    child_fk = child.raw_column(fk.child_col).astype(np.int64)
+    return np.bincount(child_fk[child_keep], minlength=minlength)
+
+
 def true_join_cardinality(schema: Schema, query: JoinQuery) -> int:
-    """Exact star-join cardinality via per-key match counting."""
+    """Exact star-join cardinality via per-key match counting.
+
+    * center present — ``sum_t 1(fact preds)(t) * prod_{k in S} m_k(t)``
+      with each edge counted against its own ``fk.parent_col`` keys;
+    * center absent, one table — the filtered row count of that table
+      (the fragment is a plain scan, *not* |fact ⋈ σ(child)|);
+    * center absent, several tables — the children joined transitively
+      on the shared center key (the equality closure the planner
+      assumes); edges on different parent columns share no key, so that
+      fragment is unrepresentable and raises
+      :class:`UnjoinableFragmentError`.
+    """
     center = schema.center
-    key_col = schema.foreign_keys[0].parent_col
     fact = schema.tables[center]
-    fact_keys = fact.raw_column(key_col).astype(np.int64)
-    n_facts = int(fact_keys.max()) + 1
+    fks = {fk.child: fk for fk in schema.foreign_keys}
+    stray = [t for t in query.tables if t != center and t not in fks]
+    if stray:
+        raise UnjoinableFragmentError(
+            f"tables {stray} have no foreign key into {center!r}")
 
     if center in query.tables:
+        if fact.num_rows == 0:
+            return 0
         fact_mask = _table_row_mask(schema, center,
                                     query.predicates_for(center))
-    else:
-        fact_mask = np.ones(fact.num_rows, dtype=bool)
+        product = np.ones(fact.num_rows, dtype=np.float64)
+        for fk in schema.foreign_keys:
+            if fk.child not in query.tables:
+                continue
+            fact_keys = fact.raw_column(fk.parent_col).astype(np.int64)
+            counts = _filtered_key_counts(schema, query, fk,
+                                          int(fact_keys.max()) + 1)
+            product *= counts[fact_keys]
+        return int((fact_mask * product).sum())
 
-    product = np.ones(fact.num_rows, dtype=np.float64)
-    for fk in schema.foreign_keys:
-        if fk.child not in query.tables:
-            continue
-        child = schema.tables[fk.child]
-        child_keep = _table_row_mask(schema, fk.child,
-                                     query.predicates_for(fk.child))
-        child_fk = child.raw_column(fk.child_col).astype(np.int64)
-        counts = np.bincount(child_fk[child_keep], minlength=n_facts)
-        product *= counts[fact_keys]
-    return int((fact_mask * product).sum())
+    if len(query.tables) == 1:
+        name = query.tables[0]
+        return int(_table_row_mask(schema, name,
+                                   query.predicates_for(name)).sum())
+
+    parent_cols = {fks[t].parent_col for t in query.tables}
+    if len(parent_cols) != 1:
+        raise UnjoinableFragmentError(
+            f"center-absent fragment {sorted(query.tables)} spans parent "
+            f"columns {sorted(parent_cols)}; no shared key joins them")
+    key_arrays = []
+    for name in query.tables:
+        keep = _table_row_mask(schema, name, query.predicates_for(name))
+        keys = schema.tables[name].raw_column(
+            fks[name].child_col).astype(np.int64)[keep]
+        if keys.size == 0:
+            return 0
+        key_arrays.append(keys)
+    n_keys = max(int(keys.max()) for keys in key_arrays) + 1
+    product = np.ones(n_keys, dtype=np.float64)
+    for keys in key_arrays:
+        product *= np.bincount(keys, minlength=n_keys)
+    return int(product.sum())
 
 
 def true_join_cardinalities(schema: Schema,

@@ -1,16 +1,19 @@
 """Query-optimizer impact study (Figure 6): DP planner, cost model,
-Postgres-style heuristic, and the estimate-injection harness."""
+Postgres-style heuristic, serving-tier sub-plan provider, and the
+estimate-injection harness."""
 
 from .cost import Plan, join_cost, plan_cost, plan_intermediates, scan_cost
-from .planner import best_plan, connected, plan_for_query
+from .planner import JoinGraph, best_plan, connected, plan_for_query
 from .postgres import MagicConstantHeuristic, PostgresHeuristic
 from .study import (EstimatorCardAdapter, OptimizerResult, TrueCardOracle,
                     restrict_query, run_optimizer_study)
+from .subplan import ServingCardinalityProvider, UESPessimisticProvider
 
 __all__ = [
     "Plan", "plan_cost", "scan_cost", "join_cost", "plan_intermediates",
-    "best_plan", "plan_for_query", "connected",
+    "best_plan", "plan_for_query", "connected", "JoinGraph",
     "PostgresHeuristic", "MagicConstantHeuristic",
     "TrueCardOracle", "EstimatorCardAdapter", "OptimizerResult",
     "restrict_query", "run_optimizer_study",
+    "ServingCardinalityProvider", "UESPessimisticProvider",
 ]

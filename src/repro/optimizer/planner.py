@@ -6,13 +6,18 @@ every subquery (Section 5.6, following Cai et al. 2019); this module is the
 equivalent substrate: the DP planner consults an arbitrary cardinality
 function, so swapping estimators changes only the numbers it sees.
 
-Cross products are excluded: in a star schema a subset of tables is
-connected iff it is a singleton or contains the center table.
+Cross products are excluded.  Connectivity comes from a
+:class:`JoinGraph` derived from the schema's foreign keys; for a star
+schema that reduces to the historical rule (a subset is connected iff it
+is a singleton or contains the center table), which :func:`connected`
+still implements directly for callers that pass a center name.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from itertools import combinations
+from typing import Iterable
 
 from ..data.schema import Schema
 from .cost import CardFn, Plan, join_cost, scan_cost
@@ -23,11 +28,87 @@ def connected(subset: frozenset, center: str) -> bool:
     return len(subset) == 1 or center in subset
 
 
-def best_plan(tables: list[str], center: str, card: CardFn) -> Plan:
-    """Exhaustive DP over connected subsets (<= 2^|tables| states)."""
+class JoinGraph:
+    """Join connectivity derived from foreign-key edges.
+
+    Each foreign key contributes an undirected edge child—parent; a table
+    subset is connected iff it induces a connected subgraph.  On a star
+    schema this is exactly the :func:`connected` rule (children only meet
+    through the center), but it also covers snowflakes and chains, which
+    is what lets :func:`best_plan` drop the hard-coded star assumption.
+    """
+
+    def __init__(self, edges: Iterable[tuple[str, str]]):
+        self.adjacency: dict[str, frozenset[str]] = {}
+        adj: dict[str, set[str]] = {}
+        for a, b in edges:
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set()).add(a)
+        self.adjacency = {name: frozenset(peers)
+                          for name, peers in adj.items()}
+
+    @classmethod
+    def from_schema(cls, schema: Schema) -> "JoinGraph":
+        return cls((fk.child, fk.parent) for fk in schema.foreign_keys)
+
+    def neighbors(self, table: str) -> frozenset[str]:
+        return self.adjacency.get(table, frozenset())
+
+    def is_connected(self, subset: frozenset) -> bool:
+        """True iff ``subset`` induces one connected component."""
+        if not subset:
+            return False
+        if len(subset) == 1:
+            return True
+        start = next(iter(subset))
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            here = frontier.popleft()
+            for peer in self.neighbors(here) & subset:
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return len(seen) == len(subset)
+
+    def connected_subsets(self, tables: Iterable[str]) -> list[frozenset]:
+        """Every non-empty connected subset of ``tables``, smallest
+        first and lexicographic within a size — the deterministic
+        fragment order the serving-tier sub-plan provider batches in."""
+        members = sorted(set(tables))
+        out: list[frozenset] = []
+        for size in range(1, len(members) + 1):
+            for combo in combinations(members, size):
+                subset = frozenset(combo)
+                if self.is_connected(subset):
+                    out.append(subset)
+        return out
+
+
+def best_plan(tables: list[str], connectivity, card: CardFn) -> Plan:
+    """Exhaustive DP over connected subsets (<= 2^|tables| states).
+
+    ``connectivity`` is either a center-table name (the historical star
+    rule) or a :class:`JoinGraph`-shaped object with ``is_connected``.
+
+    Mirrored partitions cost the same — :func:`~repro.optimizer.cost.
+    join_cost` is build/probe-symmetric and both halves' DP costs are
+    shared — so each split is enumerated once: left halves run up to
+    half the subset size, and an even split keeps the half holding the
+    smallest member.  That kept candidate is the one the full
+    enumeration's earliest-minimum tie-break chose, so plans are
+    bit-identical to the pre-dedup planner at half the partition work.
+    """
     tables = sorted(tables)
     if not tables:
         raise ValueError("no tables to plan")
+    if isinstance(connectivity, str):
+        center = connectivity
+        def is_connected(subset: frozenset) -> bool:
+            return connected(subset, center)
+    else:
+        is_connected = connectivity.is_connected
+
     best: dict[frozenset, tuple[float, Plan]] = {}
     for name in tables:
         s = frozenset([name])
@@ -36,18 +117,19 @@ def best_plan(tables: list[str], center: str, card: CardFn) -> Plan:
     for size in range(2, len(tables) + 1):
         for combo in combinations(tables, size):
             subset = frozenset(combo)
-            if not connected(subset, center):
+            if not is_connected(subset):
                 continue
             candidates: list[tuple[float, Plan]] = []
-            # Enumerate partitions into two connected halves.
             members = sorted(subset)
-            for r in range(1, size):
+            out = card(subset)
+            for r in range(1, size // 2 + 1):
                 for left_combo in combinations(members, r):
                     left = frozenset(left_combo)
+                    if 2 * r == size and members[0] not in left:
+                        continue
                     right = subset - left
                     if left not in best or right not in best:
                         continue
-                    out = card(subset)
                     cost = (best[left][0] + best[right][0]
                             + join_cost(card(left), card(right), out))
                     candidates.append(
@@ -62,4 +144,4 @@ def best_plan(tables: list[str], center: str, card: CardFn) -> Plan:
 
 def plan_for_query(schema: Schema, tables: list[str], card: CardFn) -> Plan:
     """Best DP plan for the query's tables under a card function."""
-    return best_plan(tables, schema.center, card)
+    return best_plan(tables, JoinGraph.from_schema(schema), card)

@@ -32,10 +32,15 @@ class PostgresHeuristic:
             self.histograms[tname] = {
                 col.name: Histogram1D(table.codes[:, j], col.size, bins)
                 for j, col in enumerate(table.columns)}
-        key_col = schema.foreign_keys[0].parent_col
-        self.center_ndv = schema.tables[self.center].column(key_col).size
+        # Containment selectivity is per join edge: each edge divides by
+        # max(ndv of *its own* parent column, ndv of its child column).
+        # Multi-key stars (edges referencing different parent columns)
+        # would otherwise all be scaled by foreign_keys[0]'s NDV.
+        self.center_key_ndv: dict[str, int] = {}
         self.child_ndv: dict[str, int] = {}
         for fk in schema.foreign_keys:
+            parent = schema.tables[fk.parent]
+            self.center_key_ndv[fk.child] = parent.column(fk.parent_col).size
             child = schema.tables[fk.child]
             self.child_ndv[fk.child] = child.column(fk.child_col).size
 
@@ -65,7 +70,8 @@ class PostgresHeuristic:
         if self.center in subset:
             for fk in self.schema.foreign_keys:
                 if fk.child in subset:
-                    card /= max(self.center_ndv, self.child_ndv[fk.child])
+                    card /= max(self.center_key_ndv[fk.child],
+                                self.child_ndv[fk.child])
         return max(card, 1e-6)
 
     def card_fn(self, query: JoinQuery):

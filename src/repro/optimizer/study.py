@@ -20,6 +20,7 @@ import numpy as np
 
 from ..data.schema import Schema
 from ..joins.workload import JoinQuery, true_join_cardinality
+from ..workload.fragments import extract_fragment
 from .cost import Plan, plan_cost
 from .planner import plan_for_query
 from .postgres import PostgresHeuristic
@@ -60,10 +61,12 @@ class TrueCardOracle:
 
 
 def restrict_query(query: JoinQuery, subset: frozenset) -> JoinQuery:
-    """The subquery over ``subset``: keep only its tables' predicates."""
-    preds = tuple(p for p in query.predicates
-                  if p.column.split(".")[0] in subset)
-    return JoinQuery(tuple(sorted(subset)), preds)
+    """The subquery over ``subset``: keep only its tables' predicates.
+
+    Thin wrapper over :func:`repro.workload.extract_fragment`, kept for
+    the historical optimizer-study API.
+    """
+    return extract_fragment(query, subset)
 
 
 class EstimatorCardAdapter:

@@ -2,6 +2,7 @@
 
 from .predicate import (LabeledWorkload, Predicate, Query, conjunction,
                         query_from_ranges, routing_signature)
+from .fragments import FragmentError, extract_fragment, fragment_signature
 from .executor import (row_mask, true_cardinalities, true_cardinality,
                        true_selectivity)
 from .generator import (WorkloadConfig, default_bounded_column,
@@ -16,6 +17,7 @@ from .sqlparse import SQLParseError, parse_predicates, parse_query
 __all__ = [
     "Predicate", "Query", "LabeledWorkload", "conjunction", "query_from_ranges",
     "routing_signature",
+    "FragmentError", "extract_fragment", "fragment_signature",
     "row_mask", "true_cardinality", "true_cardinalities", "true_selectivity",
     "WorkloadConfig", "default_bounded_column", "generate_inworkload",
     "generate_random", "generate_shifted_partitions",
